@@ -1,0 +1,101 @@
+// Ablation A5: the distortion kernel. The paper down-samples with nearest
+// neighbour; box averaging transmits the same byte count but integrates
+// over source pixels, preserving more usable signal (and averaging away
+// sensor noise). This ablation trains a supervised CNN per (kernel,
+// level) on the 18-class dataset and compares accuracy at equal
+// bandwidth.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dataset.hpp"
+#include "engine/architectures.hpp"
+#include "nn/trainer.hpp"
+#include "privacy/privacy.hpp"
+#include "util/table.hpp"
+
+using namespace darnet;
+using tensor::Tensor;
+
+namespace {
+
+/// Distort a batch with the chosen kernel, reconstructing to full size.
+Tensor distort_with(const Tensor& frames, privacy::DistortionLevel level,
+                    bool box_average) {
+  if (!box_average) return privacy::apply_distortion(frames, level);
+  const int n = frames.dim(0);
+  const int edge = frames.dim(3);
+  const int target = privacy::distorted_size(level, edge);
+  Tensor out(frames.shape());
+  const std::size_t stride = static_cast<std::size_t>(edge) * edge;
+  for (int i = 0; i < n; ++i) {
+    const vision::Image clean = vision::from_batch_tensor(frames, i);
+    const vision::Image small =
+        vision::resize_box_average(clean, target, target);
+    const vision::Image rebuilt = vision::resize_nearest(small, edge, edge);
+    std::copy(rebuilt.pixels().begin(), rebuilt.pixels().end(),
+              out.data() + static_cast<std::size_t>(i) * stride);
+  }
+  return out;
+}
+
+double train_and_eval(const core::FineDataset& train_set,
+                      const core::FineDataset& eval_set,
+                      privacy::DistortionLevel level, bool box_average) {
+  engine::FrameCnnConfig cfg;
+  cfg.num_classes = vision::kFineClassCount;
+  cfg.dropout = 0.0;
+  cfg.seed = 5;
+  nn::Sequential model = engine::build_frame_cnn(cfg);
+  const Tensor x = distort_with(train_set.frames, level, box_average);
+  nn::Sgd opt(0.03, 0.9, 1e-4);
+  nn::TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 32;
+  tc.shuffle_seed = 9;
+  nn::train_classifier(model, opt, x, train_set.labels, tc);
+  const Tensor ex = distort_with(eval_set.frames, level, box_average);
+  return nn::evaluate(model, ex, eval_set.labels, vision::kFineClassCount)
+      .accuracy();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int per_class = argc > 1 ? std::atoi(argv[1]) : 30;
+  vision::RenderConfig render;
+  render.pixel_noise = 0.05;
+  render.pose_noise = 1.0;
+  const auto train_set = core::generate_fine_dataset(per_class, render, 301);
+  const auto eval_set = core::generate_fine_dataset(12, render, 302);
+  std::cout << "18-class dataset: " << train_set.frames.dim(0) << " train / "
+            << eval_set.frames.dim(0) << " eval\n";
+
+  util::Table table(
+      {"Level", "nearest (paper)", "box average", "bytes on wire"});
+  double near_m = 0.0, box_m = 0.0;
+  for (auto level :
+       {privacy::DistortionLevel::kMedium, privacy::DistortionLevel::kHigh}) {
+    const double nn_acc = train_and_eval(train_set, eval_set, level, false);
+    const double box_acc = train_and_eval(train_set, eval_set, level, true);
+    if (level == privacy::DistortionLevel::kMedium) {
+      near_m = nn_acc;
+      box_m = box_acc;
+    }
+    const int edge = privacy::distorted_size(level, render.size);
+    table.add_row({privacy::distortion_name(level), util::fmt_pct(nn_acc),
+                   util::fmt_pct(box_acc),
+                   std::to_string(edge * edge + 1)});
+  }
+  std::cout << "\nAblation A5 -- distortion kernel at equal bandwidth "
+               "(supervised CNN per cell):\n"
+            << table.render();
+  table.save_csv("results/ablation_distortion.csv");
+
+  // Box averaging should match or beat nearest at the same byte budget.
+  const bool box_wins = box_m >= near_m - 0.02;
+  std::cout << "\nShape check (box average >= nearest at Medium): "
+            << (box_wins ? "OK" : "MISS") << "\n"
+            << "Note: the paper uses nearest neighbour; this ablation "
+               "quantifies what that choice costs.\n";
+  return box_wins ? 0 : 1;
+}

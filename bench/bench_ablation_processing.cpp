@@ -1,0 +1,98 @@
+// Ablation A4: the controller's local/remote processing decision (§3.2).
+//
+// Sweeps uplink quality (bandwidth x RTT) and, for each condition,
+// compares the per-classification latency of always-local, always-remote,
+// and the adaptive policy (with hysteresis). Also shows how the privacy
+// level shifts the crossover: a down-sampled payload makes remote viable
+// on links where a full frame is not -- the paper's "improves bandwidth
+// by transmitting less data".
+#include <iostream>
+
+#include "collection/processing.hpp"
+#include "privacy/privacy.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace darnet;
+  using collection::ComputeProfile;
+  using collection::NetworkEstimator;
+  using collection::Placement;
+  using collection::ProcessingDecision;
+
+  ComputeProfile profile;  // edge 80 ms vs server 4 ms per classification
+
+  struct Condition {
+    const char* name;
+    double rtt_s;
+    double bandwidth_bps;
+  };
+  const Condition conditions[] = {
+      {"good WiFi (10ms, 20Mb/s)", 0.010, 20e6},
+      {"LTE (50ms, 5Mb/s)", 0.050, 5e6},
+      {"backhaul-limited (30ms, 200kb/s)", 0.030, 2e5},
+      {"congested (150ms, 1Mb/s)", 0.150, 1e6},
+      {"edge of coverage (400ms, 100kb/s)", 0.400, 1e5},
+  };
+
+  util::Table table({"Network", "local", "remote (full frame)",
+                     "adaptive picks", "remote (dCNN-H payload)",
+                     "adaptive @ high privacy"});
+  bool adaptive_optimal = true;
+  for (const auto& cond : conditions) {
+    NetworkEstimator net;
+    net.observe(cond.rtt_s, cond.bandwidth_bps);
+
+    const double local =
+        predicted_latency_s(Placement::kLocal, profile, net);
+    const double remote_full =
+        predicted_latency_s(Placement::kRemote, profile, net);
+    ProcessingDecision decision(profile, 0.0);  // no hysteresis: pure argmin
+    const Placement pick = decision.decide(net);
+    const double picked = std::min(local, remote_full);
+    adaptive_optimal =
+        adaptive_optimal &&
+        (predicted_latency_s(pick, profile, net) == picked);
+
+    // High privacy: the frame shrinks 144x before transmission.
+    ComputeProfile high = profile;
+    high.remote_payload_bytes =
+        privacy::wire_bytes(privacy::TaggedFrame{
+            privacy::DistortionLevel::kHigh, vision::Image(4, 4)});
+    const double remote_high =
+        predicted_latency_s(Placement::kRemote, high, net);
+    ProcessingDecision high_decision(high, 0.0);
+    const Placement high_pick = high_decision.decide(net);
+
+    table.add_row({cond.name, util::fmt(local * 1e3, 1) + " ms",
+                   util::fmt(remote_full * 1e3, 1) + " ms",
+                   collection::placement_name(pick),
+                   util::fmt(remote_high * 1e3, 1) + " ms",
+                   collection::placement_name(high_pick)});
+  }
+
+  std::cout << "Ablation A4 -- processing placement vs network conditions "
+               "(per-classification latency):\n"
+            << table.render();
+  table.save_csv("results/ablation_processing.csv");
+
+  // The qualitative claims: adaptive always matches the faster placement,
+  // and shrinking the payload flips at least one condition to remote.
+  // On a bandwidth-limited (not RTT-limited) link, shrinking the payload
+  // 144x flips the placement from local to remote.
+  NetworkEstimator limited;
+  limited.observe(0.030, 2e5);
+  ComputeProfile high = profile;
+  high.remote_payload_bytes = 17;
+  const bool privacy_flips =
+      predicted_latency_s(Placement::kRemote, high, limited) <
+          profile.local_inference_s &&
+      predicted_latency_s(Placement::kRemote, profile, limited) >
+          profile.local_inference_s;
+
+  std::cout << "\nShape checks:\n"
+            << "  adaptive picks the faster side:     "
+            << (adaptive_optimal ? "OK" : "MISS") << "\n"
+            << "  privacy payload flips a crossover:  "
+            << (privacy_flips ? "OK" : "MISS") << "\n";
+  return (adaptive_optimal && privacy_flips) ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// Reproduces Table 3: privacy-preserving dCNN Top-1 classification on the
+// second (18-class) distracted-driver dataset.
+//
+//   Paper:  CNN 78.87%   dCNN-L 80.00%   dCNN-M 77.78%   dCNN-H 63.13%
+//
+// Methodology (Section 4.3): the teacher CNN is trained supervised on the
+// clean frames; each dCNN student shares the architecture, is initialised
+// from the teacher's weights, and is trained *unsupervised* by minimising
+// the L2 distance between its output on the distorted frame and the
+// teacher's recorded output on the original. Students are evaluated on
+// distorted held-out frames.
+//
+// Shape target: dCNN-L lands within a few points of the teacher, dCNN-M
+// degrades but stays far above chance, and dCNN-H collapses by double
+// digits. Documented deviation (EXPERIMENTS.md): at this 48px substrate
+// the Medium level loses more than the paper's 50x50-of-300 (information
+// loss depends on absolute pixel count, not only on the reduction ratio),
+// so the measured dCNN-M sits lower relative to the CNN than the paper's
+// 1-point gap.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dataset.hpp"
+#include "engine/architectures.hpp"
+#include "nn/trainer.hpp"
+#include "privacy/privacy.hpp"
+#include "util/serialize.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace darnet;
+using tensor::Tensor;
+
+namespace {
+
+nn::Sequential make_model(std::uint64_t seed) {
+  engine::FrameCnnConfig cfg;
+  cfg.input_size = 48;
+  cfg.num_classes = vision::kFineClassCount;
+  cfg.dropout = 0.0;  // encourage the mild overfit the paper hypothesises
+  cfg.seed = seed;
+  return engine::build_frame_cnn(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int per_class_train = argc > 1 ? std::atoi(argv[1]) : 42;
+  const int per_class_eval = 15;
+
+  // The second dataset was recorded with a GoPro Hero 3 -- cleaner capture
+  // than the dashcam tablet of the 6-class study.
+  vision::RenderConfig render;
+  render.pixel_noise = 0.05;
+  render.pose_noise = 1.0;
+  const core::FineDataset train_set = core::generate_fine_dataset(
+      per_class_train, render, 1001);
+  const core::FineDataset eval_set = core::generate_fine_dataset(
+      per_class_eval, render, 2002);
+  std::cout << "18-class dataset: " << train_set.frames.dim(0) << " train / "
+            << eval_set.frames.dim(0) << " eval frames (48x48)\n";
+
+  // Teacher.
+  util::Stopwatch watch;
+  nn::Sequential teacher = make_model(3);
+  {
+    nn::Sgd opt(0.03, 0.9, 1e-4);
+    nn::TrainConfig tc;
+    tc.epochs = 16;  // push into mild overfit on the small train set
+    tc.batch_size = 32;
+    tc.shuffle_seed = 5;
+    nn::train_classifier(teacher, opt, train_set.frames, train_set.labels,
+                         tc);
+  }
+  const double teacher_acc =
+      nn::evaluate(teacher, eval_set.frames, eval_set.labels,
+                   vision::kFineClassCount)
+          .accuracy();
+  const double teacher_train_acc =
+      nn::evaluate(teacher, train_set.frames, train_set.labels,
+                   vision::kFineClassCount)
+          .accuracy();
+  std::cout << "Teacher CNN trained in " << util::fmt(watch.seconds(), 1)
+            << "s -- train " << util::fmt_pct(teacher_train_acc) << " / eval "
+            << util::fmt_pct(teacher_acc)
+            << " (train-eval gap = overfit margin)\n\n";
+
+  const privacy::DistortionLevel levels[] = {privacy::DistortionLevel::kLow,
+                                             privacy::DistortionLevel::kMedium,
+                                             privacy::DistortionLevel::kHigh};
+  const char* names[] = {"dCNN-L", "dCNN-M", "dCNN-H"};
+  const double paper[] = {80.00, 77.78, 63.13};
+
+  util::Table table({"Model", "Hit@1 (measured)", "Hit@1 (paper)"});
+  table.add_row({"CNN", util::fmt_pct(teacher_acc), "78.87%"});
+
+  double acc[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    watch.reset();
+    nn::Sequential student = make_model(100 + static_cast<std::uint64_t>(i));
+    // Paper: "initialize the weights using the CNN trained on the driving
+    // dataset".
+    util::BinaryWriter w;
+    teacher.save_params(w);
+    util::BinaryReader r(w.bytes());
+    student.load_params(r);
+
+    nn::Sgd opt(0.01, 0.9);  // paper: stochastic gradient descent
+    nn::TrainConfig tc;
+    tc.epochs = 12;
+    tc.batch_size = 32;
+    tc.shuffle_seed = 17 + static_cast<std::uint64_t>(i);
+    privacy::distill_dcnn(student, teacher, train_set.frames, levels[i], opt,
+                          tc);
+
+    // Students see distorted frames in deployment.
+    const Tensor distorted_eval =
+        privacy::apply_distortion(eval_set.frames, levels[i]);
+    acc[i] = nn::evaluate(student, distorted_eval, eval_set.labels,
+                          vision::kFineClassCount)
+                 .accuracy();
+    table.add_row({names[i], util::fmt_pct(acc[i]),
+                   util::fmt(paper[i], 2) + "%"});
+    std::cout << names[i] << " distilled in " << util::fmt(watch.seconds(), 1)
+              << "s\n";
+  }
+
+  std::cout << "\nTable 3 -- CNN and dCNN Top-1 classification (18-class "
+               "dataset):\n"
+            << table.render();
+  table.save_csv("results/table3_dcnn.csv");
+
+  const double chance = 1.0 / vision::kFineClassCount;
+  const bool low_holds = acc[0] >= teacher_acc - 0.06;
+  const bool medium_mid = acc[1] > 3.0 * chance && acc[1] < acc[0];
+  const bool high_collapses = acc[2] <= teacher_acc - 0.30 && acc[2] < acc[1];
+  std::cout << "\nShape checks:\n"
+            << "  dCNN-L within a few pts of CNN:  "
+            << (low_holds ? "OK" : "MISS") << "\n"
+            << "  dCNN-M degraded but >> chance:   "
+            << (medium_mid ? "OK" : "MISS") << "\n"
+            << "  dCNN-H collapses:                "
+            << (high_collapses ? "OK" : "MISS") << "\n";
+  return (low_holds && medium_mid && high_collapses) ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Fleet audit: the "variable insurance rates / fleet managers" scenario
+// from the paper's introduction.
+//
+// Simulates a small fleet whose drivers have different behavioural
+// profiles (how often and how long they get distracted), streams each
+// driver's session through the middleware, classifies per time-step with
+// the trained ensemble, and produces a per-driver distraction report and
+// risk ranking.
+//
+// Usage: fleet_audit [scale] [drivers]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace darnet;
+
+/// Build a session where each distraction class appears with a
+/// driver-specific propensity.
+core::SessionScript make_profile_script(double distraction_rate,
+                                        util::Rng& rng) {
+  core::SessionScript script;
+  double remaining = 120.0;
+  while (remaining > 0.0) {
+    const bool distracted = rng.chance(distraction_rate);
+    const auto behaviour =
+        distracted ? static_cast<vision::DriverClass>(rng.uniform_int(1, 5))
+                   : vision::DriverClass::kNormal;
+    const double len = rng.uniform(8.0, 15.0);
+    script.segments.push_back({behaviour, std::min(len, remaining)});
+    remaining -= len;
+  }
+  return script;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.015;
+  const int drivers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  std::cout << "Training the fleet's shared DarNet models (scale " << scale
+            << ")...\n";
+  core::DatasetConfig data_cfg;
+  data_cfg.scale = scale;
+  core::DarNet darnet{core::DarNetConfig{}};
+  darnet.train(core::generate_dataset(data_cfg));
+
+  struct DriverReport {
+    std::string name;
+    double true_rate;
+    double measured_rate;
+    double phone_rate;  // texting + talking specifically
+    std::size_t steps;
+  };
+  std::vector<DriverReport> reports;
+
+  util::Rng fleet_rng(2024);
+  for (int d = 0; d < drivers; ++d) {
+    // Spread propensities across the fleet: 10% .. 55%.
+    const double propensity =
+        0.10 + 0.45 * d / std::max(1, drivers - 1);
+    const auto script = make_profile_script(propensity, fleet_rng);
+
+    core::PipelineConfig cfg;
+    cfg.seed = 500 + static_cast<std::uint64_t>(d);
+    core::StreamingPipeline pipeline(script, cfg);
+    const auto results =
+        pipeline.run(&darnet, engine::ArchitectureKind::kCnnRnn);
+
+    std::size_t distracted = 0, phone = 0, truly_distracted = 0;
+    for (const auto& r : results) {
+      if (r.predicted != 0) ++distracted;
+      if (r.predicted == 1 || r.predicted == 2) ++phone;
+      if (r.actual != 0) ++truly_distracted;
+    }
+    const double n = std::max<std::size_t>(1, results.size());
+    reports.push_back({"driver-" + std::to_string(d + 1),
+                       truly_distracted / n, distracted / n, phone / n,
+                       results.size()});
+    std::cout << "  streamed " << results.size() << " classified steps for "
+              << reports.back().name << "\n";
+  }
+
+  std::sort(reports.begin(), reports.end(),
+            [](const auto& a, const auto& b) {
+              return a.measured_rate > b.measured_rate;
+            });
+
+  util::Table table({"Rank", "Driver", "Distracted (measured)",
+                     "Phone use", "Distracted (ground truth)", "Steps"});
+  int rank = 1;
+  for (const auto& r : reports) {
+    table.add_row({std::to_string(rank++), r.name,
+                   util::fmt_pct(r.measured_rate), util::fmt_pct(r.phone_rate),
+                   util::fmt_pct(r.true_rate), std::to_string(r.steps)});
+  }
+  std::cout << "\nFleet distraction audit (120 s per driver):\n"
+            << table.render();
+  std::cout << "\nRiskiest driver: " << reports.front().name
+            << " -- measured distracted "
+            << util::fmt_pct(reports.front().measured_rate)
+            << " of driving time\n";
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "bayes/combiner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace darnet::bayes {
+
+ClassMap::ClassMap(std::vector<int> image_to_imu, int imu_classes)
+    : map_(std::move(image_to_imu)), imu_classes_(imu_classes) {
+  if (map_.empty() || imu_classes <= 0) {
+    throw std::invalid_argument("ClassMap: empty mapping");
+  }
+  for (int m : map_) {
+    if (m < 0 || m >= imu_classes) {
+      throw std::invalid_argument("ClassMap: target class out of range");
+    }
+  }
+}
+
+int ClassMap::map(int image_class) const {
+  if (image_class < 0 || image_class >= image_classes()) {
+    throw std::out_of_range("ClassMap::map: class out of range");
+  }
+  return map_[static_cast<std::size_t>(image_class)];
+}
+
+ClassMap ClassMap::darnet_default() {
+  // Image classes: 0 normal, 1 talking, 2 texting, 3 eating/drinking,
+  // 4 hair/makeup, 5 reaching. IMU classes: 0 normal, 1 talking, 2 texting.
+  return ClassMap({0, 1, 2, 0, 0, 0}, 3);
+}
+
+BayesianCombiner::BayesianCombiner(ClassMap class_map, double laplace_alpha)
+    : map_(std::move(class_map)),
+      alpha_(laplace_alpha),
+      cpt_(static_cast<std::size_t>(map_.image_classes()) * 4, 0.5) {
+  if (laplace_alpha <= 0.0) {
+    throw std::invalid_argument("BayesianCombiner: alpha must be positive");
+  }
+}
+
+std::size_t BayesianCombiner::cpt_index(int c, int a, int b) const {
+  return (static_cast<std::size_t>(c) * 2 + static_cast<std::size_t>(a)) * 2 +
+         static_cast<std::size_t>(b);
+}
+
+void BayesianCombiner::check_inputs(const Tensor& p_image,
+                                    const Tensor& p_imu) const {
+  if (p_image.rank() != 2 || p_image.dim(1) != map_.image_classes()) {
+    throw std::invalid_argument("BayesianCombiner: bad image distribution");
+  }
+  if (p_imu.rank() != 2 || p_imu.dim(1) != map_.imu_classes()) {
+    throw std::invalid_argument("BayesianCombiner: bad IMU distribution");
+  }
+  if (p_image.dim(0) != p_imu.dim(0)) {
+    throw std::invalid_argument("BayesianCombiner: batch size mismatch");
+  }
+}
+
+void BayesianCombiner::fit(const Tensor& p_image, const Tensor& p_imu,
+                           std::span<const int> labels) {
+  check_inputs(p_image, p_imu);
+  const int n = p_image.dim(0);
+  const int ci = map_.image_classes();
+  const int cb = map_.imu_classes();
+  if (labels.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("BayesianCombiner::fit: label count mismatch");
+  }
+
+  // counts[c][a][b][y]: per-class parent/child co-occurrence over the
+  // training data. Parent states are counted *softly* -- each sample
+  // contributes P(A=a)P(B=b) mass to every (a, b) cell -- so the CPTs
+  // retain the models' confidence instead of collapsing it to argmax
+  // verdicts (which measurably hurts fused accuracy; see
+  // bench_ablation_combiner).
+  std::vector<double> counts(static_cast<std::size_t>(ci) * 8, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int y_true = labels[i];
+    if (y_true < 0 || y_true >= ci) {
+      throw std::invalid_argument("BayesianCombiner::fit: label out of range");
+    }
+    const float* pa = p_image.data() + static_cast<std::size_t>(i) * ci;
+    const float* pb = p_imu.data() + static_cast<std::size_t>(i) * cb;
+    for (int c = 0; c < ci; ++c) {
+      const double ea = pa[c];
+      const double eb = pb[map_.map(c)];
+      const int y = (y_true == c) ? 1 : 0;
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          const double w = (a ? ea : 1.0 - ea) * (b ? eb : 1.0 - eb);
+          counts[cpt_index(c, a, b) * 2 + static_cast<std::size_t>(y)] += w;
+        }
+      }
+    }
+  }
+
+  for (int c = 0; c < ci; ++c) {
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        const double neg = counts[cpt_index(c, a, b) * 2];
+        const double pos = counts[cpt_index(c, a, b) * 2 + 1];
+        cpt_[cpt_index(c, a, b)] =
+            (pos + alpha_) / (pos + neg + 2.0 * alpha_);
+      }
+    }
+  }
+  trained_ = true;
+}
+
+double BayesianCombiner::cpt(int image_class, bool cnn_positive,
+                             bool imu_positive) const {
+  if (image_class < 0 || image_class >= map_.image_classes()) {
+    throw std::out_of_range("BayesianCombiner::cpt: class out of range");
+  }
+  return cpt_[cpt_index(image_class, cnn_positive ? 1 : 0,
+                        imu_positive ? 1 : 0)];
+}
+
+Tensor BayesianCombiner::combine(const Tensor& p_image,
+                                 const Tensor& p_imu) const {
+  if (!trained_) {
+    throw std::logic_error("BayesianCombiner: combine before fit");
+  }
+  check_inputs(p_image, p_imu);
+  const int n = p_image.dim(0);
+  const int ci = map_.image_classes();
+  const int cb = map_.imu_classes();
+
+  Tensor out({n, ci});
+  for (int i = 0; i < n; ++i) {
+    const float* pa = p_image.data() + static_cast<std::size_t>(i) * ci;
+    const float* pb = p_imu.data() + static_cast<std::size_t>(i) * cb;
+    float* orow = out.data() + static_cast<std::size_t>(i) * ci;
+    double total = 0.0;
+    for (int c = 0; c < ci; ++c) {
+      // Soft evidence on both parents, marginalised through the CPT:
+      // P(c) = sum_{a,b} P(child=1 | a, b) P(A=a) P(B=b).
+      const double ea = pa[c];
+      const double eb = pb[map_.map(c)];
+      double score = 0.0;
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          const double wa = a ? ea : 1.0 - ea;
+          const double wb = b ? eb : 1.0 - eb;
+          score += cpt_[cpt_index(c, a, b)] * wa * wb;
+        }
+      }
+      orow[c] = static_cast<float>(score);
+      total += score;
+    }
+    if (total <= 0.0) {
+      // Degenerate CPTs: fall back to a uniform distribution.
+      for (int c = 0; c < ci; ++c) orow[c] = 1.0f / static_cast<float>(ci);
+    } else {
+      for (int c = 0; c < ci; ++c) {
+        orow[c] = static_cast<float>(orow[c] / total);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> BayesianCombiner::predict(const Tensor& p_image,
+                                           const Tensor& p_imu) const {
+  Tensor fused = combine(p_image, p_imu);
+  const int n = fused.dim(0), c = fused.dim(1);
+  std::vector<int> preds(n);
+  for (int i = 0; i < n; ++i) {
+    preds[i] = tensor::argmax(std::span<const float>(
+        fused.data() + static_cast<std::size_t>(i) * c,
+        static_cast<std::size_t>(c)));
+  }
+  return preds;
+}
+
+void BayesianCombiner::serialize(util::BinaryWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(map_.image_classes()));
+  writer.write_u32(static_cast<std::uint32_t>(map_.imu_classes()));
+  for (int c = 0; c < map_.image_classes(); ++c) {
+    writer.write_u32(static_cast<std::uint32_t>(map_.map(c)));
+  }
+  writer.write_f64(alpha_);
+  writer.write_u8(trained_ ? 1 : 0);
+  for (double v : cpt_) writer.write_f64(v);
+}
+
+BayesianCombiner BayesianCombiner::deserialize(util::BinaryReader& reader) {
+  const int ci = static_cast<int>(reader.read_u32());
+  const int cb = static_cast<int>(reader.read_u32());
+  std::vector<int> mapping(ci);
+  for (auto& m : mapping) m = static_cast<int>(reader.read_u32());
+  const double alpha = reader.read_f64();
+  BayesianCombiner combiner(ClassMap(std::move(mapping), cb), alpha);
+  combiner.trained_ = reader.read_u8() != 0;
+  for (auto& v : combiner.cpt_) v = reader.read_f64();
+  return combiner;
+}
+
+Tensor fuse(FusionRule rule, const ClassMap& map, const Tensor& p_image,
+            const Tensor& p_imu) {
+  if (p_image.rank() != 2 || p_imu.rank() != 2 ||
+      p_image.dim(0) != p_imu.dim(0) ||
+      p_image.dim(1) != map.image_classes() ||
+      p_imu.dim(1) != map.imu_classes()) {
+    throw std::invalid_argument("fuse: input shape mismatch");
+  }
+  const int n = p_image.dim(0), ci = map.image_classes();
+  Tensor out({n, ci});
+  for (int i = 0; i < n; ++i) {
+    const float* pa = p_image.data() + static_cast<std::size_t>(i) * ci;
+    const float* pb = p_imu.data() + static_cast<std::size_t>(i) * map.imu_classes();
+    float* orow = out.data() + static_cast<std::size_t>(i) * ci;
+    double total = 0.0;
+    for (int c = 0; c < ci; ++c) {
+      const double a = pa[c];
+      const double b = pb[map.map(c)];
+      double v = 0.0;
+      switch (rule) {
+        case FusionRule::kMean:
+          v = 0.5 * (a + b);
+          break;
+        case FusionRule::kProduct:
+          v = a * b;
+          break;
+        case FusionRule::kMax:
+          v = std::max(a, b);
+          break;
+      }
+      orow[c] = static_cast<float>(v);
+      total += v;
+    }
+    if (total > 0.0) {
+      for (int c = 0; c < ci; ++c) {
+        orow[c] = static_cast<float>(orow[c] / total);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace darnet::bayes

@@ -1,0 +1,93 @@
+// Bayesian-network ensemble combiner (Section 4.2, "Ensemble Learning").
+//
+// The CNN and RNN emit probability distributions over *different* class
+// sets: six image classes vs three IMU classes (classes without phone use
+// collapse to "normal driving" on the IMU side, per Table 1). The paper
+// assigns each image class its own small Bayesian network: two parent
+// nodes (the CNN's verdict for the class and the RNN's verdict for the
+// mapped class) and one child node (class present). Conditional
+// probability tables are estimated from true-positive counts on training
+// data; at inference the parents receive the models' output probabilities
+// as soft evidence and the per-class posteriors are normalised into the
+// final distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
+
+namespace darnet::bayes {
+
+using tensor::Tensor;
+
+/// Maps primary (image) classes onto secondary (IMU) classes. Surjective;
+/// several image classes may share one IMU class.
+class ClassMap {
+ public:
+  ClassMap(std::vector<int> image_to_imu, int imu_classes);
+
+  [[nodiscard]] int map(int image_class) const;
+  [[nodiscard]] int image_classes() const noexcept {
+    return static_cast<int>(map_.size());
+  }
+  [[nodiscard]] int imu_classes() const noexcept { return imu_classes_; }
+
+  /// The mapping used by DarNet's deployment (Table 1): classes
+  /// {normal, talking, texting} keep their own IMU class; classes
+  /// {eating/drinking, hair/makeup, reaching} map to IMU "normal".
+  static ClassMap darnet_default();
+
+ private:
+  std::vector<int> map_;
+  int imu_classes_;
+};
+
+/// Per-class two-parent Bayesian networks with CPTs learned from counts.
+class BayesianCombiner {
+ public:
+  BayesianCombiner(ClassMap class_map, double laplace_alpha = 1.0);
+
+  /// Learn CPTs from the training-set outputs of both models.
+  /// p_image: [N, C_img] CNN probabilities; p_imu: [N, C_imu] RNN (or SVM)
+  /// probabilities; labels: true image classes.
+  void fit(const Tensor& p_image, const Tensor& p_imu,
+           std::span<const int> labels);
+
+  /// Fused, normalised distribution over image classes: [N, C_img].
+  [[nodiscard]] Tensor combine(const Tensor& p_image,
+                               const Tensor& p_imu) const;
+
+  [[nodiscard]] std::vector<int> predict(const Tensor& p_image,
+                                         const Tensor& p_imu) const;
+
+  /// P(class c present | cnn_says_c = a, rnn_says_mapped_c = b).
+  [[nodiscard]] double cpt(int image_class, bool cnn_positive,
+                           bool imu_positive) const;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+  [[nodiscard]] const ClassMap& class_map() const noexcept { return map_; }
+
+  void serialize(util::BinaryWriter& writer) const;
+  static BayesianCombiner deserialize(util::BinaryReader& reader);
+
+ private:
+  [[nodiscard]] std::size_t cpt_index(int c, int a, int b) const;
+  void check_inputs(const Tensor& p_image, const Tensor& p_imu) const;
+
+  ClassMap map_;
+  double alpha_;
+  bool trained_{false};
+  std::vector<double> cpt_;  // [C_img][2][2] -> P(child=1 | a, b)
+};
+
+/// Simple fusion rules used as ablation baselines against the BN combiner.
+enum class FusionRule { kMean, kProduct, kMax };
+
+/// Fuse two modality distributions without learned CPTs. The IMU
+/// distribution is expanded through the class map before fusing.
+[[nodiscard]] Tensor fuse(FusionRule rule, const ClassMap& map,
+                          const Tensor& p_image, const Tensor& p_imu);
+
+}  // namespace darnet::bayes

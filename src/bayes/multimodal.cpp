@@ -1,0 +1,176 @@
+#include "bayes/multimodal.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace darnet::bayes {
+
+MultiModalCombiner::MultiModalCombiner(int image_classes,
+                                       std::vector<ModalityMap> maps,
+                                       double laplace_alpha)
+    : image_classes_(image_classes),
+      maps_(std::move(maps)),
+      alpha_(laplace_alpha) {
+  if (image_classes < 2 || maps_.empty() || maps_.size() > 8 ||
+      laplace_alpha <= 0.0) {
+    throw std::invalid_argument("MultiModalCombiner: invalid configuration");
+  }
+  for (const auto& map : maps_) {
+    if (map.modality_classes < 2 ||
+        map.image_to_modality.size() !=
+            static_cast<std::size_t>(image_classes)) {
+      throw std::invalid_argument("MultiModalCombiner: bad modality map");
+    }
+    for (int m : map.image_to_modality) {
+      if (m < 0 || m >= map.modality_classes) {
+        throw std::invalid_argument(
+            "MultiModalCombiner: map target out of range");
+      }
+    }
+  }
+  configs_ = 1u << maps_.size();
+  cpt_.assign(static_cast<std::size_t>(image_classes) * configs_, 0.5);
+}
+
+ModalityMap MultiModalCombiner::identity_map(int classes) {
+  ModalityMap map;
+  map.modality_classes = classes;
+  map.image_to_modality.resize(static_cast<std::size_t>(classes));
+  for (int c = 0; c < classes; ++c) {
+    map.image_to_modality[static_cast<std::size_t>(c)] = c;
+  }
+  return map;
+}
+
+std::size_t MultiModalCombiner::cpt_index(int c, unsigned config) const {
+  return static_cast<std::size_t>(c) * configs_ + config;
+}
+
+void MultiModalCombiner::check_inputs(
+    std::span<const Tensor> modality_probs) const {
+  if (modality_probs.size() != maps_.size()) {
+    throw std::invalid_argument("MultiModalCombiner: modality count mismatch");
+  }
+  const int n = modality_probs.empty() ? 0 : modality_probs[0].dim(0);
+  for (std::size_t i = 0; i < maps_.size(); ++i) {
+    if (modality_probs[i].rank() != 2 ||
+        modality_probs[i].dim(0) != n ||
+        modality_probs[i].dim(1) != maps_[i].modality_classes) {
+      throw std::invalid_argument(
+          "MultiModalCombiner: bad distribution for modality " +
+          std::to_string(i));
+    }
+  }
+}
+
+void MultiModalCombiner::fit(std::span<const Tensor> modality_probs,
+                             std::span<const int> labels) {
+  check_inputs(modality_probs);
+  const int n = modality_probs[0].dim(0);
+  if (labels.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("MultiModalCombiner::fit: label mismatch");
+  }
+
+  // Soft counts over [class][config][child], as in the 2-parent combiner.
+  std::vector<double> counts(
+      static_cast<std::size_t>(image_classes_) * configs_ * 2, 0.0);
+  std::vector<double> evidence(maps_.size());
+  for (int i = 0; i < n; ++i) {
+    const int y_true = labels[static_cast<std::size_t>(i)];
+    if (y_true < 0 || y_true >= image_classes_) {
+      throw std::invalid_argument(
+          "MultiModalCombiner::fit: label out of range");
+    }
+    for (int c = 0; c < image_classes_; ++c) {
+      for (std::size_t m = 0; m < maps_.size(); ++m) {
+        const int mc =
+            maps_[m].image_to_modality[static_cast<std::size_t>(c)];
+        evidence[m] = modality_probs[m].at(i, mc);
+      }
+      const int y = (y_true == c) ? 1 : 0;
+      for (unsigned config = 0; config < configs_; ++config) {
+        double w = 1.0;
+        for (std::size_t m = 0; m < maps_.size(); ++m) {
+          const bool on = (config >> m) & 1u;
+          w *= on ? evidence[m] : 1.0 - evidence[m];
+        }
+        counts[(cpt_index(c, config)) * 2 + static_cast<std::size_t>(y)] += w;
+      }
+    }
+  }
+
+  for (int c = 0; c < image_classes_; ++c) {
+    for (unsigned config = 0; config < configs_; ++config) {
+      const double neg = counts[cpt_index(c, config) * 2];
+      const double pos = counts[cpt_index(c, config) * 2 + 1];
+      cpt_[cpt_index(c, config)] = (pos + alpha_) / (pos + neg + 2.0 * alpha_);
+    }
+  }
+  trained_ = true;
+}
+
+Tensor MultiModalCombiner::combine(
+    std::span<const Tensor> modality_probs) const {
+  if (!trained_) {
+    throw std::logic_error("MultiModalCombiner: combine before fit");
+  }
+  check_inputs(modality_probs);
+  const int n = modality_probs[0].dim(0);
+
+  Tensor out({n, image_classes_});
+  std::vector<double> evidence(maps_.size());
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (int c = 0; c < image_classes_; ++c) {
+      for (std::size_t m = 0; m < maps_.size(); ++m) {
+        const int mc =
+            maps_[m].image_to_modality[static_cast<std::size_t>(c)];
+        evidence[m] = modality_probs[m].at(i, mc);
+      }
+      double score = 0.0;
+      for (unsigned config = 0; config < configs_; ++config) {
+        double w = 1.0;
+        for (std::size_t m = 0; m < maps_.size(); ++m) {
+          const bool on = (config >> m) & 1u;
+          w *= on ? evidence[m] : 1.0 - evidence[m];
+        }
+        score += cpt_[cpt_index(c, config)] * w;
+      }
+      out.at(i, c) = static_cast<float>(score);
+      total += score;
+    }
+    if (total <= 0.0) {
+      for (int c = 0; c < image_classes_; ++c) {
+        out.at(i, c) = 1.0f / static_cast<float>(image_classes_);
+      }
+    } else {
+      for (int c = 0; c < image_classes_; ++c) {
+        out.at(i, c) = static_cast<float>(out.at(i, c) / total);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> MultiModalCombiner::predict(
+    std::span<const Tensor> modality_probs) const {
+  const Tensor fused = combine(modality_probs);
+  std::vector<int> preds(static_cast<std::size_t>(fused.dim(0)));
+  for (int i = 0; i < fused.dim(0); ++i) {
+    preds[static_cast<std::size_t>(i)] = tensor::argmax(std::span<const float>(
+        fused.data() + static_cast<std::size_t>(i) * image_classes_,
+        static_cast<std::size_t>(image_classes_)));
+  }
+  return preds;
+}
+
+double MultiModalCombiner::cpt(int image_class, unsigned config) const {
+  if (image_class < 0 || image_class >= image_classes_ ||
+      config >= configs_) {
+    throw std::out_of_range("MultiModalCombiner::cpt: out of range");
+  }
+  return cpt_[cpt_index(image_class, config)];
+}
+
+}  // namespace darnet::bayes

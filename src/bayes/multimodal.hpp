@@ -1,0 +1,67 @@
+// N-modality generalisation of the per-class Bayesian-network combiner.
+//
+// The paper's conclusion: "our ensemble learning approach is extensible to
+// adding more modalities". This module implements that extension: each
+// image class gets a Bayesian network with one parent per modality and a
+// single child; CPTs over the 2^M parent configurations are estimated
+// with soft counts, and inference marginalises the soft evidence of every
+// modality. With M = 2 it reduces exactly to the deployed combiner.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bayes/combiner.hpp"
+
+namespace darnet::bayes {
+
+/// How one modality's class space projects onto the image classes.
+struct ModalityMap {
+  /// image class -> this modality's class index.
+  std::vector<int> image_to_modality;
+  int modality_classes{0};
+};
+
+class MultiModalCombiner {
+ public:
+  /// `maps[i]` describes modality i. The image model itself participates
+  /// as a modality with the identity map (use identity_map()).
+  MultiModalCombiner(int image_classes, std::vector<ModalityMap> maps,
+                     double laplace_alpha = 1.0);
+
+  [[nodiscard]] static ModalityMap identity_map(int classes);
+
+  /// Fit CPTs. `modality_probs[i]` is modality i's [N, C_i] distribution
+  /// over its own class space; labels are true image classes.
+  void fit(std::span<const Tensor> modality_probs,
+           std::span<const int> labels);
+
+  /// Fused, normalised distribution over image classes [N, C_img].
+  [[nodiscard]] Tensor combine(std::span<const Tensor> modality_probs) const;
+
+  [[nodiscard]] std::vector<int> predict(
+      std::span<const Tensor> modality_probs) const;
+
+  [[nodiscard]] int modality_count() const noexcept {
+    return static_cast<int>(maps_.size());
+  }
+  [[nodiscard]] int image_classes() const noexcept { return image_classes_; }
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// P(class present | parent configuration bits). Bit i of `config` is
+  /// modality i's verdict.
+  [[nodiscard]] double cpt(int image_class, unsigned config) const;
+
+ private:
+  void check_inputs(std::span<const Tensor> modality_probs) const;
+  [[nodiscard]] std::size_t cpt_index(int c, unsigned config) const;
+
+  int image_classes_;
+  std::vector<ModalityMap> maps_;
+  double alpha_;
+  unsigned configs_;  // 2^M
+  bool trained_{false};
+  std::vector<double> cpt_;  // [C_img][2^M]
+};
+
+}  // namespace darnet::bayes

@@ -1,0 +1,48 @@
+#include "collection/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace darnet::collection {
+
+VirtualLink::VirtualLink(Simulation& sim, LinkConfig config,
+                         std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {
+  if (config.base_latency_s < 0.0 || config.jitter_s < 0.0 ||
+      config.loss_rate < 0.0 || config.loss_rate > 1.0 ||
+      config.bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("VirtualLink: invalid configuration");
+  }
+}
+
+void VirtualLink::set_receiver(Handler handler) {
+  receiver_ = std::move(handler);
+}
+
+void VirtualLink::send(std::vector<std::uint8_t> payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  if (rng_.chance(config_.loss_rate)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (!receiver_) {
+    throw std::logic_error("VirtualLink::send: no receiver attached");
+  }
+
+  // Serialisation delay: the channel transmits one message at a time.
+  const double tx_time =
+      static_cast<double>(payload.size()) * 8.0 / config_.bandwidth_bps;
+  const SimTime start = std::max(sim_.now(), channel_free_at_);
+  channel_free_at_ = start + tx_time;
+  const double delay = (channel_free_at_ - sim_.now()) +
+                       config_.base_latency_s +
+                       rng_.uniform(0.0, config_.jitter_s);
+  stats_.total_latency_s += delay;
+
+  sim_.schedule_in(delay, [this, p = std::move(payload)]() mutable {
+    receiver_(std::move(p));
+  });
+}
+
+}  // namespace darnet::collection

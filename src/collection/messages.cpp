@@ -1,0 +1,104 @@
+#include "collection/messages.hpp"
+
+#include <stdexcept>
+
+namespace darnet::collection {
+
+namespace {
+// Message kind tags guard against decoding a payload as the wrong type.
+constexpr auto kKindBatch = static_cast<std::uint8_t>(MessageKind::kBatch);
+constexpr auto kKindClockSync =
+    static_cast<std::uint8_t>(MessageKind::kClockSync);
+constexpr auto kKindRegister =
+    static_cast<std::uint8_t>(MessageKind::kRegister);
+}  // namespace
+
+MessageKind peek_kind(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    throw std::invalid_argument("peek_kind: empty payload");
+  }
+  const auto kind = bytes.front();
+  if (kind < kKindBatch || kind > kKindRegister) {
+    throw std::invalid_argument("peek_kind: unknown message kind");
+  }
+  return static_cast<MessageKind>(kind);
+}
+
+void serialize(const SensorReading& reading, util::BinaryWriter& writer) {
+  writer.write_string(reading.stream);
+  writer.write_f64(reading.local_timestamp);
+  writer.write_u32(reading.tag);
+  writer.write_f32_span(reading.values);
+}
+
+SensorReading deserialize_reading(util::BinaryReader& reader) {
+  SensorReading r;
+  r.stream = reader.read_string();
+  r.local_timestamp = reader.read_f64();
+  r.tag = reader.read_u32();
+  r.values = reader.read_f32_vector();
+  return r;
+}
+
+std::vector<std::uint8_t> encode(const DataBatch& batch) {
+  util::BinaryWriter w;
+  w.write_u8(kKindBatch);
+  w.write_u32(batch.agent_id);
+  w.write_u32(static_cast<std::uint32_t>(batch.readings.size()));
+  for (const auto& r : batch.readings) serialize(r, w);
+  return w.take();
+}
+
+DataBatch decode_batch(std::span<const std::uint8_t> bytes) {
+  util::BinaryReader r(bytes);
+  if (r.read_u8() != kKindBatch) {
+    throw std::invalid_argument("decode_batch: wrong message kind");
+  }
+  DataBatch b;
+  b.agent_id = r.read_u32();
+  const auto n = r.read_u32();
+  b.readings.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    b.readings.push_back(deserialize_reading(r));
+  }
+  return b;
+}
+
+std::vector<std::uint8_t> encode(const ClockSyncMessage& msg) {
+  util::BinaryWriter w;
+  w.write_u8(kKindClockSync);
+  w.write_f64(msg.master_time);
+  return w.take();
+}
+
+ClockSyncMessage decode_clock_sync(std::span<const std::uint8_t> bytes) {
+  util::BinaryReader r(bytes);
+  if (r.read_u8() != kKindClockSync) {
+    throw std::invalid_argument("decode_clock_sync: wrong message kind");
+  }
+  return ClockSyncMessage{r.read_f64()};
+}
+
+std::vector<std::uint8_t> encode(const RegisterMessage& msg) {
+  util::BinaryWriter w;
+  w.write_u8(kKindRegister);
+  w.write_u32(msg.agent_id);
+  w.write_u32(static_cast<std::uint32_t>(msg.streams.size()));
+  for (const auto& s : msg.streams) w.write_string(s);
+  return w.take();
+}
+
+RegisterMessage decode_register(std::span<const std::uint8_t> bytes) {
+  util::BinaryReader r(bytes);
+  if (r.read_u8() != kKindRegister) {
+    throw std::invalid_argument("decode_register: wrong message kind");
+  }
+  RegisterMessage m;
+  m.agent_id = r.read_u32();
+  const auto n = r.read_u32();
+  m.streams.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.streams.push_back(r.read_string());
+  return m;
+}
+
+}  // namespace darnet::collection

@@ -1,0 +1,62 @@
+// Wire-format messages exchanged between collection agents and the
+// centralized controller (Section 4.1). Messages are serialised to bytes
+// before entering a VirtualLink so that bandwidth accounting (the privacy
+// evaluation's 9x/36x/144x reduction claims) reflects real payload sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace darnet::collection {
+
+/// One sensor tuple: stream id, the agent's local timestamp, and a flat
+/// value vector (3 floats for an accelerometer, W*H floats for a frame).
+struct SensorReading {
+  std::string stream;
+  double local_timestamp{0.0};
+  std::vector<float> values;
+  /// Optional producer tag (the privacy distortion level rides here).
+  std::uint32_t tag{0};
+};
+
+/// Batched readings pushed from an agent to the controller.
+struct DataBatch {
+  std::uint32_t agent_id{0};
+  std::vector<SensorReading> readings;
+};
+
+/// Master -> agent clock distribution (the controller's UTC).
+struct ClockSyncMessage {
+  double master_time{0.0};
+};
+
+/// Agent -> controller registration handshake.
+struct RegisterMessage {
+  std::uint32_t agent_id{0};
+  std::vector<std::string> streams;
+};
+
+enum class MessageKind : std::uint8_t {
+  kBatch = 1,
+  kClockSync = 2,
+  kRegister = 3,
+};
+
+/// Inspect the kind tag without consuming the payload.
+MessageKind peek_kind(std::span<const std::uint8_t> bytes);
+
+void serialize(const SensorReading& reading, util::BinaryWriter& writer);
+SensorReading deserialize_reading(util::BinaryReader& reader);
+
+std::vector<std::uint8_t> encode(const DataBatch& batch);
+DataBatch decode_batch(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode(const ClockSyncMessage& msg);
+ClockSyncMessage decode_clock_sync(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode(const RegisterMessage& msg);
+RegisterMessage decode_register(std::span<const std::uint8_t> bytes);
+
+}  // namespace darnet::collection

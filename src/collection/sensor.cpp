@@ -1,0 +1,16 @@
+#include "collection/sensor.hpp"
+
+#include <stdexcept>
+
+namespace darnet::collection {
+
+CallbackSensor::CallbackSensor(std::string stream, double poll_period_s,
+                               Sampler sampler)
+    : stream_(std::move(stream)), period_(poll_period_s),
+      sampler_(std::move(sampler)) {
+  if (stream_.empty() || period_ <= 0.0 || !sampler_) {
+    throw std::invalid_argument("CallbackSensor: invalid arguments");
+  }
+}
+
+}  // namespace darnet::collection

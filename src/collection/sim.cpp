@@ -1,0 +1,33 @@
+#include "collection/sim.hpp"
+
+#include <stdexcept>
+
+namespace darnet::collection {
+
+void Simulation::schedule(SimTime at, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("Simulation::schedule: null callback");
+  if (at < now_) {
+    throw std::invalid_argument("Simulation::schedule: time in the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulation::schedule_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulation::schedule_in: negative delay");
+  }
+  schedule(now_ + delay, std::move(fn));
+}
+
+void Simulation::run_until(SimTime horizon) {
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    // Copy out before pop so the handler may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace darnet::collection

@@ -1,0 +1,180 @@
+#include "collection/store.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <stdexcept>
+
+namespace darnet::collection {
+
+namespace {
+bool tuple_before(const TimedTuple& a, double t) { return a.timestamp < t; }
+}  // namespace
+
+void TimeSeriesStore::append(const std::string& stream, TimedTuple tuple) {
+  if (tuple.values.empty()) {
+    throw std::invalid_argument("TimeSeriesStore::append: empty tuple");
+  }
+  auto& series = data_[stream];
+  if (!series.empty() && !series.back().values.empty() &&
+      series.back().values.size() != tuple.values.size()) {
+    throw std::invalid_argument(
+        "TimeSeriesStore::append: tuple width changed mid-stream");
+  }
+  // Fast path: in-order arrival.
+  if (series.empty() || series.back().timestamp <= tuple.timestamp) {
+    series.push_back(std::move(tuple));
+  } else {
+    auto it = std::lower_bound(series.begin(), series.end(), tuple.timestamp,
+                               tuple_before);
+    series.insert(it, std::move(tuple));
+  }
+  ++total_;
+}
+
+bool TimeSeriesStore::has_stream(const std::string& stream) const {
+  return data_.contains(stream);
+}
+
+std::vector<std::string> TimeSeriesStore::streams() const {
+  std::vector<std::string> names;
+  names.reserve(data_.size());
+  for (const auto& [name, _] : data_) names.push_back(name);
+  return names;
+}
+
+std::size_t TimeSeriesStore::count(const std::string& stream) const {
+  const auto it = data_.find(stream);
+  return it == data_.end() ? 0 : it->second.size();
+}
+
+const std::vector<TimedTuple>& TimeSeriesStore::series(
+    const std::string& stream) const {
+  const auto it = data_.find(stream);
+  if (it == data_.end()) {
+    throw std::out_of_range("TimeSeriesStore::series: unknown stream " +
+                            stream);
+  }
+  return it->second;
+}
+
+std::optional<std::vector<float>> TimeSeriesStore::interpolate(
+    const std::string& stream, double t,
+    double extrapolation_tolerance) const {
+  const auto it = data_.find(stream);
+  if (it == data_.end() || it->second.empty()) return std::nullopt;
+  const auto& series = it->second;
+
+  if (t <= series.front().timestamp) {
+    if (series.front().timestamp - t > extrapolation_tolerance) {
+      return std::nullopt;
+    }
+    return series.front().values;
+  }
+  if (t >= series.back().timestamp) {
+    if (t - series.back().timestamp > extrapolation_tolerance) {
+      return std::nullopt;
+    }
+    return series.back().values;
+  }
+
+  const auto upper =
+      std::lower_bound(series.begin(), series.end(), t, tuple_before);
+  const auto lower = upper - 1;
+  const double dt = upper->timestamp - lower->timestamp;
+  const double w = dt > 1e-12 ? (t - lower->timestamp) / dt : 0.0;
+  std::vector<float> out(lower->values.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>((1.0 - w) * lower->values[i] +
+                                w * upper->values[i]);
+  }
+  return out;
+}
+
+std::optional<std::vector<float>> TimeSeriesStore::nearest(
+    const std::string& stream, double t, double tolerance) const {
+  const auto it = data_.find(stream);
+  if (it == data_.end() || it->second.empty()) return std::nullopt;
+  const auto& series = it->second;
+  const auto upper =
+      std::lower_bound(series.begin(), series.end(), t, tuple_before);
+  const TimedTuple* best = nullptr;
+  if (upper != series.end()) best = &*upper;
+  if (upper != series.begin()) {
+    const auto lower = upper - 1;
+    if (!best ||
+        t - lower->timestamp < best->timestamp - t) {
+      best = &*lower;
+    }
+  }
+  if (!best || std::abs(best->timestamp - t) > tolerance) {
+    return std::nullopt;
+  }
+  return best->values;
+}
+
+std::optional<std::vector<float>> TimeSeriesStore::smoothed(
+    const std::string& stream, double t, double window_s) const {
+  if (window_s <= 0.0) return interpolate(stream, t);
+  const auto it = data_.find(stream);
+  if (it == data_.end() || it->second.empty()) return std::nullopt;
+  const auto& series = it->second;
+
+  const auto first = std::lower_bound(series.begin(), series.end(),
+                                      t - window_s, tuple_before);
+  std::vector<double> acc;
+  std::size_t n = 0;
+  for (auto cur = first; cur != series.end() && cur->timestamp <= t; ++cur) {
+    if (acc.empty()) acc.assign(cur->values.size(), 0.0);
+    for (std::size_t i = 0; i < cur->values.size(); ++i) {
+      acc[i] += cur->values[i];
+    }
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  std::vector<float> out(acc.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    out[i] = static_cast<float>(acc[i] / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> TimeSeriesStore::aligned(
+    const std::vector<std::string>& stream_names, double t0, double t1,
+    double dt, double smoothing_window_s,
+    std::vector<double>* grid_times) const {
+  if (dt <= 0.0) {
+    throw std::invalid_argument("TimeSeriesStore::aligned: dt must be > 0");
+  }
+  std::vector<std::vector<float>> rows;
+  for (double t = t0; t < t1; t += dt) {
+    std::vector<float> row;
+    bool complete = true;
+    for (const auto& name : stream_names) {
+      auto values = smoothing_window_s > 0.0
+                        ? smoothed(name, t, smoothing_window_s)
+                        : interpolate(name, t);
+      if (!values) {
+        complete = false;
+        break;
+      }
+      row.insert(row.end(), values->begin(), values->end());
+    }
+    if (complete) {
+      rows.push_back(std::move(row));
+      if (grid_times) grid_times->push_back(t);
+    }
+  }
+  return rows;
+}
+
+void TimeSeriesStore::evict_before(double cutoff) {
+  for (auto& [name, series] : data_) {
+    const auto it =
+        std::lower_bound(series.begin(), series.end(), cutoff, tuple_before);
+    const auto removed = static_cast<std::size_t>(it - series.begin());
+    series.erase(series.begin(), it);
+    total_ -= removed;
+  }
+}
+
+}  // namespace darnet::collection

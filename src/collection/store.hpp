@@ -1,0 +1,76 @@
+// In-memory time-series store (the deployment's statsd stand-in).
+//
+// Holds timestamp-ordered tuples per stream and implements the
+// controller's "Data Normalization" (Section 3.2): tuples are ordered by
+// their embedded timestamps (arrival order is meaningless under network
+// jitter), gaps are filled by linear interpolation so streams running at
+// different rates can be aggregated at consistent intervals, and a sliding
+// moving average smooths commodity-sensor aberrations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace darnet::collection {
+
+struct TimedTuple {
+  double timestamp{0.0};
+  std::vector<float> values;
+  std::uint32_t tag{0};
+};
+
+class TimeSeriesStore {
+ public:
+  /// Insert maintaining timestamp order (handles out-of-order arrival).
+  void append(const std::string& stream, TimedTuple tuple);
+
+  [[nodiscard]] bool has_stream(const std::string& stream) const;
+  [[nodiscard]] std::vector<std::string> streams() const;
+  [[nodiscard]] std::size_t count(const std::string& stream) const;
+
+  /// Raw tuples of one stream, timestamp-ordered.
+  [[nodiscard]] const std::vector<TimedTuple>& series(
+      const std::string& stream) const;
+
+  /// Linear interpolation at time `t`. Returns nullopt when the stream is
+  /// empty or `t` lies outside the recorded range by more than
+  /// `extrapolation_tolerance` (in which case the nearest sample would be
+  /// a fabrication, not an interpolation).
+  [[nodiscard]] std::optional<std::vector<float>> interpolate(
+      const std::string& stream, double t,
+      double extrapolation_tolerance = 0.25) const;
+
+  /// The sample nearest to `t` (for payloads that must not be blended,
+  /// e.g. camera frames). Returns nullopt when the stream is empty or the
+  /// nearest sample is further than `tolerance` away.
+  [[nodiscard]] std::optional<std::vector<float>> nearest(
+      const std::string& stream, double t, double tolerance = 0.5) const;
+
+  /// Sliding moving average over samples in [t - window, t]. Returns
+  /// nullopt when the window holds no samples.
+  [[nodiscard]] std::optional<std::vector<float>> smoothed(
+      const std::string& stream, double t, double window_s) const;
+
+  /// Align several streams onto a uniform grid [t0, t1) with step `dt`:
+  /// each output row concatenates the (optionally smoothed, then
+  /// interpolated) values of all streams at one grid point. Rows where any
+  /// stream is unavailable are skipped; `grid_times` receives the grid
+  /// time of every emitted row.
+  [[nodiscard]] std::vector<std::vector<float>> aligned(
+      const std::vector<std::string>& stream_names, double t0, double t1,
+      double dt, double smoothing_window_s,
+      std::vector<double>* grid_times = nullptr) const;
+
+  /// Drop all tuples older than `cutoff` (bounded memory for streaming).
+  void evict_before(double cutoff);
+
+  [[nodiscard]] std::size_t total_tuples() const noexcept { return total_; }
+
+ private:
+  std::map<std::string, std::vector<TimedTuple>> data_;
+  std::size_t total_{0};
+};
+
+}  // namespace darnet::collection

@@ -1,0 +1,36 @@
+#include "core/driver_style.hpp"
+
+namespace darnet::core {
+
+DriverStyle DriverStyle::sample(util::Rng& rng) {
+  DriverStyle style;
+  style.head_dx = rng.gaussian(0.0, 0.03);
+  style.head_dy = rng.gaussian(0.0, 0.02);
+  style.body_scale = rng.uniform(0.9, 1.12);
+  style.lighting_bias = rng.gaussian(0.0, 0.08);
+  style.tremor_scale = rng.uniform(0.7, 1.5);
+  style.attitude_roll_bias = rng.gaussian(0.0, 0.10);
+  style.attitude_pitch_bias = rng.gaussian(0.0, 0.08);
+  return style;
+}
+
+vision::RenderConfig DriverStyle::applied_to(
+    const vision::RenderConfig& base) const {
+  vision::RenderConfig cfg = base;
+  cfg.head_dx = head_dx;
+  cfg.head_dy = head_dy;
+  cfg.body_scale = body_scale;
+  cfg.lighting_bias = lighting_bias;
+  return cfg;
+}
+
+imu::ImuGenConfig DriverStyle::applied_to(
+    const imu::ImuGenConfig& base) const {
+  imu::ImuGenConfig cfg = base;
+  cfg.tremor_scale = tremor_scale;
+  cfg.attitude_roll_bias = attitude_roll_bias;
+  cfg.attitude_pitch_bias = attitude_pitch_bias;
+  return cfg;
+}
+
+}  // namespace darnet::core

@@ -1,0 +1,41 @@
+// Per-driver style: the systematic, driver-specific component of the data
+// (the paper collects from 5 drivers; each sits, holds a phone, and
+// fidgets differently). Styles bias both modalities consistently, which
+// makes leave-one-driver-out evaluation meaningfully harder than a random
+// split -- the "larger participant study" concern of Section 5.2.
+#pragma once
+
+#include "imu/imu.hpp"
+#include "util/rng.hpp"
+#include "vision/renderer.hpp"
+
+namespace darnet::core {
+
+struct DriverStyle {
+  // Vision: seating position, body size, cabin lighting preference.
+  double head_dx{0.0};
+  double head_dy{0.0};
+  double body_scale{1.0};
+  double lighting_bias{0.0};
+  // IMU: how the device is habitually held/carried.
+  double tremor_scale{1.0};
+  double attitude_roll_bias{0.0};   // radians
+  double attitude_pitch_bias{0.0};  // radians
+
+  /// Draw one driver's style. Magnitudes are modest: the style shifts
+  /// distributions without making drivers separate classes.
+  static DriverStyle sample(util::Rng& rng);
+
+  /// Identity style (single-driver datasets).
+  static DriverStyle neutral() { return DriverStyle{}; }
+
+  /// Apply the vision components onto a render config copy.
+  [[nodiscard]] vision::RenderConfig applied_to(
+      const vision::RenderConfig& base) const;
+
+  /// Apply the IMU components onto a generator config copy.
+  [[nodiscard]] imu::ImuGenConfig applied_to(
+      const imu::ImuGenConfig& base) const;
+};
+
+}  // namespace darnet::core

@@ -1,0 +1,46 @@
+#include "core/pretrain.hpp"
+
+#include "core/dataset.hpp"
+#include "engine/architectures.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "util/stopwatch.hpp"
+
+namespace darnet::core {
+
+PretrainReport pretrain_frame_cnn(nn::Sequential& frame_cnn, int input_size,
+                                  const PretrainConfig& config) {
+  util::Stopwatch watch;
+
+  vision::RenderConfig render = config.render;
+  render.size = input_size;
+  const FineDataset aux = generate_fine_dataset(config.samples_per_class,
+                                                render, config.seed);
+
+  engine::FrameCnnConfig aux_cfg;
+  aux_cfg.input_size = input_size;
+  aux_cfg.num_classes = vision::kFineClassCount;
+  aux_cfg.seed = config.seed ^ 0x5555;
+  nn::Sequential aux_model = engine::build_frame_cnn(aux_cfg);
+
+  nn::Sgd optimizer(config.learning_rate, 0.9, 1e-4);
+  nn::TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch_size = 32;
+  tc.shuffle_seed = config.seed;
+  PretrainReport report;
+  report.final_loss =
+      nn::train_classifier(aux_model, optimizer, aux.frames, aux.labels, tc);
+  report.params_transferred =
+      nn::transfer_matching_params(aux_model, frame_cnn);
+  if (report.params_transferred == 0) {
+    throw std::invalid_argument(
+        "pretrain_frame_cnn: no transferable parameters -- input size "
+        "mismatch?");
+  }
+  report.seconds = watch.seconds();
+  return report;
+}
+
+}  // namespace darnet::core

@@ -1,0 +1,39 @@
+// Fine-tuning initialisation for the frame CNN (Section 4.2: "we take a
+// fine-tuning approach by initializing our model using the weights of a
+// pre-trained model").
+//
+// Compute-gate substitution (DESIGN.md): the paper starts from an
+// ImageNet-trained Inception-V3 checkpoint; here the feature extractor is
+// pre-trained on the auxiliary 18-class pose dataset -- a different label
+// space over the same visual domain -- and the convolutional weights are
+// transferred into the 6-class model before supervised training.
+#pragma once
+
+#include "nn/sequential.hpp"
+#include "vision/renderer.hpp"
+
+namespace darnet::core {
+
+struct PretrainConfig {
+  int samples_per_class = 20;
+  int epochs = 6;
+  double learning_rate = 0.03;
+  vision::RenderConfig render;  // the auxiliary dataset's capture setup
+  std::uint64_t seed = 404;
+};
+
+struct PretrainReport {
+  double final_loss{0.0};
+  std::size_t params_transferred{0};
+  double seconds{0.0};
+};
+
+/// Pre-train a feature extractor on the 18-class pose task and transfer
+/// its weights into `frame_cnn` (everything up to the classification
+/// head). The CNN must have been built by engine::build_frame_cnn with
+/// the same input size.
+PretrainReport pretrain_frame_cnn(nn::Sequential& frame_cnn,
+                                  int input_size,
+                                  const PretrainConfig& config = {});
+
+}  // namespace darnet::core

@@ -1,0 +1,57 @@
+#include "engine/architectures.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/inception.hpp"
+#include "nn/lstm.hpp"
+#include "nn/pool.hpp"
+
+namespace darnet::engine {
+
+nn::Sequential build_frame_cnn(const FrameCnnConfig& config) {
+  if (config.input_size % 8 != 0 || config.input_size < 16) {
+    throw std::invalid_argument(
+        "build_frame_cnn: input size must be >= 16 and divisible by 8");
+  }
+  util::Rng rng(config.seed);
+  const int stem = config.stem_channels;
+
+  nn::Sequential model;
+  model.emplace<nn::Conv2D>(1, stem, 3, 1, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2D>(2);
+  // Inception block 1: 4+6+4+2 = 16 channels.
+  model.add(nn::make_micro_inception(stem, 4, 6, 4, 2, rng));
+  model.emplace<nn::MaxPool2D>(2);
+  // Inception block 2: 8+12+8+4 = 32 channels.
+  model.add(nn::make_micro_inception(16, 8, 12, 8, 4, rng));
+  model.emplace<nn::MaxPool2D>(2);
+  // Spatially-aware head: driver pose is positional, so the classifier
+  // keeps the (size/8)^2 grid rather than global-average-pooling it away.
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dropout>(config.dropout, config.seed ^ 0x9e3779b9ULL);
+  const int grid = config.input_size / 8;
+  model.emplace<nn::Dense>(32 * grid * grid, config.num_classes, rng);
+  return model;
+}
+
+nn::Sequential build_imu_rnn(const ImuRnnConfig& config) {
+  if (config.layers < 1 || config.hidden < 1) {
+    throw std::invalid_argument("build_imu_rnn: invalid configuration");
+  }
+  util::Rng rng(config.seed);
+  nn::Sequential model;
+  int in = config.channels;
+  for (int layer = 0; layer < config.layers; ++layer) {
+    model.emplace<nn::BiLstm>(in, config.hidden, rng);
+    in = 2 * config.hidden;
+  }
+  model.emplace<nn::TemporalMeanPool>();
+  model.emplace<nn::Dense>(in, config.num_classes, rng);
+  return model;
+}
+
+}  // namespace darnet::engine

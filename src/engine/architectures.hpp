@@ -1,0 +1,34 @@
+// Model factories for DarNet's two network architectures (Section 4.2).
+#pragma once
+
+#include "nn/sequential.hpp"
+
+namespace darnet::engine {
+
+struct FrameCnnConfig {
+  int input_size = 48;   // square grayscale input edge
+  int num_classes = 6;
+  int stem_channels = 8;
+  double dropout = 0.20;
+  std::uint64_t seed = 11;
+};
+
+/// The frame model: a MicroInception CNN (DESIGN.md's stand-in for the
+/// fine-tuned Inception-V3). Stem conv -> pool -> inception block -> pool
+/// -> inception block -> global average pool -> dropout -> dense softmax
+/// head. Input must be [N, 1, size, size] with size divisible by 4.
+nn::Sequential build_frame_cnn(const FrameCnnConfig& config);
+
+struct ImuRnnConfig {
+  int channels = 13;   // accel + gyro + gravity + rotation quaternion
+  int num_classes = 3; // normal / talking / texting
+  int hidden = 32;     // per direction (paper: 64; scaled for 1-core CPU)
+  int layers = 2;      // paper: "2 bidirectional LSTM cells"
+  std::uint64_t seed = 13;
+};
+
+/// The IMU model: a deep bidirectional LSTM (stacked BiLstm layers, mean
+/// pooled over time, dense softmax head). Input: [N, 20, channels].
+nn::Sequential build_imu_rnn(const ImuRnnConfig& config);
+
+}  // namespace darnet::engine

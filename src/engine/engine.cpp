@@ -1,0 +1,152 @@
+#include "engine/engine.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace darnet::engine {
+
+NeuralClassifier::NeuralClassifier(nn::Layer& model, int num_classes,
+                                   std::string label)
+    : model_(&model), classes_(num_classes), label_(std::move(label)) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("NeuralClassifier: need >= 2 classes");
+  }
+}
+
+Tensor NeuralClassifier::probabilities(const Tensor& inputs) {
+  Tensor p = nn::predict_proba(*model_, inputs);
+  if (p.dim(1) != classes_) {
+    throw std::logic_error("NeuralClassifier: model emits " +
+                           std::to_string(p.dim(1)) + " classes, expected " +
+                           std::to_string(classes_));
+  }
+  return p;
+}
+
+SvmClassifier::SvmClassifier(svm::LinearSvm& model) : model_(&model) {}
+
+Tensor SvmClassifier::probabilities(const Tensor& inputs) {
+  // The SVM consumes flattened windows; accept [N, T, C] and flatten.
+  if (inputs.rank() == 3) {
+    return model_->probabilities(
+        inputs.reshaped({inputs.dim(0), inputs.dim(1) * inputs.dim(2)}));
+  }
+  return model_->probabilities(inputs);
+}
+
+const char* architecture_name(ArchitectureKind kind) noexcept {
+  switch (kind) {
+    case ArchitectureKind::kCnnOnly:
+      return "CNN";
+    case ArchitectureKind::kCnnSvm:
+      return "CNN+SVM";
+    case ArchitectureKind::kCnnRnn:
+      return "CNN+RNN";
+  }
+  return "?";
+}
+
+EnsembleClassifier::EnsembleClassifier(ProbabilisticClassifier& frame_model,
+                                       ProbabilisticClassifier* imu_model,
+                                       bayes::ClassMap class_map)
+    : frame_model_(&frame_model),
+      imu_model_(imu_model),
+      combiner_(std::move(class_map)) {
+  if (frame_model.num_classes() != combiner_.class_map().image_classes()) {
+    throw std::invalid_argument(
+        "EnsembleClassifier: frame model / class map mismatch");
+  }
+  if (imu_model_ &&
+      imu_model_->num_classes() != combiner_.class_map().imu_classes()) {
+    throw std::invalid_argument(
+        "EnsembleClassifier: IMU model / class map mismatch");
+  }
+}
+
+void EnsembleClassifier::restore_combiner(bayes::BayesianCombiner combiner) {
+  if (combiner.class_map().image_classes() !=
+          combiner_.class_map().image_classes() ||
+      combiner.class_map().imu_classes() !=
+          combiner_.class_map().imu_classes()) {
+    throw std::invalid_argument(
+        "EnsembleClassifier::restore_combiner: class map mismatch");
+  }
+  combiner_ = std::move(combiner);
+}
+
+void EnsembleClassifier::fit(const Tensor& frames, const Tensor& imu_windows,
+                             std::span<const int> labels) {
+  if (!imu_model_) return;
+  const Tensor p_img = frame_model_->probabilities(frames);
+  const Tensor p_imu = imu_model_->probabilities(imu_windows);
+  combiner_.fit(p_img, p_imu, labels);
+}
+
+Tensor EnsembleClassifier::classify(const Tensor& frames,
+                                    const Tensor& imu_windows) {
+  Tensor p_img = frame_model_->probabilities(frames);
+  if (!imu_model_) return p_img;
+  const Tensor p_imu = imu_model_->probabilities(imu_windows);
+  return combiner_.combine(p_img, p_imu);
+}
+
+std::vector<int> EnsembleClassifier::predict(const Tensor& frames,
+                                             const Tensor& imu_windows) {
+  const Tensor fused = classify(frames, imu_windows);
+  const int n = fused.dim(0), c = fused.dim(1);
+  std::vector<int> preds(n);
+  for (int i = 0; i < n; ++i) {
+    preds[i] = tensor::argmax(std::span<const float>(
+        fused.data() + static_cast<std::size_t>(i) * c,
+        static_cast<std::size_t>(c)));
+  }
+  return preds;
+}
+
+nn::ConfusionMatrix EnsembleClassifier::evaluate(
+    const Tensor& frames, const Tensor& imu_windows,
+    std::span<const int> labels, std::vector<std::string> names) {
+  const auto preds = predict(frames, imu_windows);
+  if (preds.size() != labels.size()) {
+    throw std::invalid_argument("EnsembleClassifier::evaluate: size mismatch");
+  }
+  nn::ConfusionMatrix cm(frame_model_->num_classes(), std::move(names));
+  for (std::size_t i = 0; i < preds.size(); ++i) cm.add(labels[i], preds[i]);
+  return cm;
+}
+
+void AnalyticsEngine::register_stream(const std::string& stream,
+                                      ProbabilisticClassifier& model) {
+  if (stream.empty()) {
+    throw std::invalid_argument("AnalyticsEngine: empty stream name");
+  }
+  if (models_.contains(stream)) {
+    throw std::invalid_argument(
+        "AnalyticsEngine: stream already registered (1-to-1 mapping): " +
+        stream);
+  }
+  models_[stream] = &model;
+}
+
+bool AnalyticsEngine::has_stream(const std::string& stream) const {
+  return models_.contains(stream);
+}
+
+ProbabilisticClassifier& AnalyticsEngine::model_for(
+    const std::string& stream) {
+  const auto it = models_.find(stream);
+  if (it == models_.end()) {
+    throw std::out_of_range("AnalyticsEngine: unknown stream " + stream);
+  }
+  return *it->second;
+}
+
+std::vector<std::string> AnalyticsEngine::streams() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, _] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace darnet::engine

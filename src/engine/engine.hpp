@@ -1,0 +1,124 @@
+// Analytics engine (Section 3.3): modular 1-to-1 mapping between device
+// data streams and machine-learning models, with ensemble combination of
+// the per-modality outputs into one classification.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bayes/combiner.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "svm/svm.hpp"
+
+namespace darnet::engine {
+
+using tensor::Tensor;
+
+/// Uniform inference interface over heterogeneous per-modality models
+/// (neural networks and the SVM baseline).
+class ProbabilisticClassifier {
+ public:
+  virtual ~ProbabilisticClassifier() = default;
+
+  /// Class distribution [N, C] for a batch of modality inputs.
+  [[nodiscard]] virtual Tensor probabilities(const Tensor& inputs) = 0;
+  [[nodiscard]] virtual int num_classes() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Adapts any nn::Layer whose output is [N, C] logits.
+class NeuralClassifier final : public ProbabilisticClassifier {
+ public:
+  NeuralClassifier(nn::Layer& model, int num_classes, std::string label);
+
+  [[nodiscard]] Tensor probabilities(const Tensor& inputs) override;
+  [[nodiscard]] int num_classes() const override { return classes_; }
+  [[nodiscard]] std::string describe() const override { return label_; }
+
+ private:
+  nn::Layer* model_;
+  int classes_;
+  std::string label_;
+};
+
+/// Adapts the linear SVM baseline (softmax over margins).
+class SvmClassifier final : public ProbabilisticClassifier {
+ public:
+  explicit SvmClassifier(svm::LinearSvm& model);
+
+  [[nodiscard]] Tensor probabilities(const Tensor& inputs) override;
+  [[nodiscard]] int num_classes() const override {
+    return model_->num_classes();
+  }
+  [[nodiscard]] std::string describe() const override { return "SVM"; }
+
+ private:
+  svm::LinearSvm* model_;
+};
+
+/// The three evaluation architectures of Table 2.
+enum class ArchitectureKind { kCnnOnly, kCnnSvm, kCnnRnn };
+[[nodiscard]] const char* architecture_name(ArchitectureKind kind) noexcept;
+
+/// Frame model + optional IMU model fused by the Bayesian-network
+/// combiner. With no IMU model this degrades to the CNN-only baseline.
+class EnsembleClassifier {
+ public:
+  /// `imu_model` may be null (CNN-only architecture). Models are borrowed
+  /// and must outlive the ensemble.
+  EnsembleClassifier(ProbabilisticClassifier& frame_model,
+                     ProbabilisticClassifier* imu_model,
+                     bayes::ClassMap class_map);
+
+  /// Fit the combiner CPTs on training-set outputs. No-op for CNN-only.
+  void fit(const Tensor& frames, const Tensor& imu_windows,
+           std::span<const int> labels);
+
+  /// Fused distribution over image classes [N, C].
+  [[nodiscard]] Tensor classify(const Tensor& frames,
+                                const Tensor& imu_windows);
+
+  [[nodiscard]] std::vector<int> predict(const Tensor& frames,
+                                         const Tensor& imu_windows);
+
+  [[nodiscard]] nn::ConfusionMatrix evaluate(
+      const Tensor& frames, const Tensor& imu_windows,
+      std::span<const int> labels, std::vector<std::string> names = {});
+
+  [[nodiscard]] bool has_imu_model() const noexcept {
+    return imu_model_ != nullptr;
+  }
+  [[nodiscard]] const bayes::BayesianCombiner& combiner() const noexcept {
+    return combiner_;
+  }
+
+  /// Replace the combiner with a previously-fitted one (checkpoint
+  /// restore). Its class map must match this ensemble's.
+  void restore_combiner(bayes::BayesianCombiner combiner);
+
+ private:
+  ProbabilisticClassifier* frame_model_;
+  ProbabilisticClassifier* imu_model_;
+  bayes::BayesianCombiner combiner_;
+};
+
+/// Stream-name -> model registry: the engine "maintains a 1-to-1
+/// relationship between device data-streams and machine learning models"
+/// so new devices can be added without retraining existing models.
+class AnalyticsEngine {
+ public:
+  void register_stream(const std::string& stream,
+                       ProbabilisticClassifier& model);
+
+  [[nodiscard]] bool has_stream(const std::string& stream) const;
+  [[nodiscard]] ProbabilisticClassifier& model_for(const std::string& stream);
+  [[nodiscard]] std::vector<std::string> streams() const;
+
+ private:
+  std::map<std::string, ProbabilisticClassifier*> models_;
+};
+
+}  // namespace darnet::engine

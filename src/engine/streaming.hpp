@@ -1,0 +1,68 @@
+// Stateful streaming classification on top of the ensemble.
+//
+// The paper: "Our system is designed to make classifications at each
+// time-step from the data, making it amenable to near real-time
+// detection." Raw per-timestep verdicts flicker at behaviour boundaries
+// and under sensor noise; deployments therefore (a) smooth the fused
+// distribution over time with an exponential moving average and
+// (b) debounce alerts so a distraction must persist before one fires.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace darnet::engine {
+
+struct StreamingConfig {
+  /// EWMA weight of the newest fused distribution (1.0 = no smoothing).
+  double smoothing_alpha = 0.6;
+  /// Consecutive distracted steps before an alert fires.
+  int alert_streak = 2;
+  /// The class index treated as "not distracted".
+  int normal_class = 0;
+};
+
+struct StreamingVerdict {
+  int predicted{0};
+  Tensor distribution;    // smoothed, [1, C]
+  bool alert{false};      // a debounced distraction alert fired this step
+  bool alert_onset{false};  // first step of a new alert episode
+};
+
+/// Re-run smoothing + debouncing over an already-collected sequence of
+/// per-step fused distributions (each [1, C]) -- the offline counterpart
+/// of StreamingClassifier for post-hoc analysis of a recorded session.
+[[nodiscard]] std::vector<StreamingVerdict> smooth_timeline(
+    const std::vector<Tensor>& distributions, const StreamingConfig& config);
+
+/// Feeds per-timestep modality inputs through an EnsembleClassifier and
+/// maintains the temporal state (smoothed distribution, alert streak).
+class StreamingClassifier {
+ public:
+  StreamingClassifier(EnsembleClassifier& ensemble, StreamingConfig config);
+
+  /// One time-step: a single frame [1, 1, H, W] and IMU window
+  /// [1, T, C]. Returns the smoothed verdict.
+  StreamingVerdict step(const Tensor& frame, const Tensor& imu_window);
+
+  /// Drop temporal state (new session).
+  void reset();
+
+  [[nodiscard]] int steps_processed() const noexcept { return steps_; }
+  [[nodiscard]] int alerts_fired() const noexcept { return alerts_; }
+  [[nodiscard]] const StreamingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  EnsembleClassifier* ensemble_;
+  StreamingConfig config_;
+  std::optional<Tensor> smoothed_;
+  int streak_{0};
+  int steps_{0};
+  int alerts_{0};
+};
+
+}  // namespace darnet::engine

@@ -1,0 +1,79 @@
+#include "imu/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace darnet::imu {
+
+namespace {
+
+void summarize_into(const float* window, int steps, int channels,
+                    float* out) {
+  for (int c = 0; c < channels; ++c) {
+    double mean = 0.0;
+    float mn = window[c], mx = window[c];
+    for (int t = 0; t < steps; ++t) {
+      const float v = window[static_cast<std::size_t>(t) * channels + c];
+      mean += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    mean /= steps;
+
+    double var = 0.0, diff_energy = 0.0;
+    int zero_crossings = 0;
+    float prev_centered = 0.0f;
+    for (int t = 0; t < steps; ++t) {
+      const float v = window[static_cast<std::size_t>(t) * channels + c];
+      const auto centered = static_cast<float>(v - mean);
+      var += static_cast<double>(centered) * centered;
+      if (t > 0) {
+        const float prev = window[static_cast<std::size_t>(t - 1) * channels + c];
+        diff_energy += static_cast<double>(v - prev) * (v - prev);
+        if ((centered > 0) != (prev_centered > 0)) ++zero_crossings;
+      }
+      prev_centered = centered;
+    }
+    var /= steps;
+    diff_energy /= std::max(1, steps - 1);
+
+    float* f = out + static_cast<std::size_t>(c) * kFeaturesPerChannel;
+    f[0] = static_cast<float>(mean);
+    f[1] = static_cast<float>(std::sqrt(var));
+    f[2] = mn;
+    f[3] = mx;
+    f[4] = static_cast<float>(diff_energy);
+    f[5] = static_cast<float>(zero_crossings) / static_cast<float>(steps);
+  }
+}
+
+}  // namespace
+
+Tensor summarize_window(const Tensor& window) {
+  if (window.rank() != 2) {
+    throw std::invalid_argument("summarize_window: [T, C] required");
+  }
+  Tensor out({window.dim(1) * kFeaturesPerChannel});
+  summarize_into(window.data(), window.dim(0), window.dim(1), out.data());
+  return out;
+}
+
+Tensor summarize_windows(const Tensor& windows) {
+  if (windows.rank() != 3) {
+    throw std::invalid_argument("summarize_windows: [N, T, C] required");
+  }
+  const int n = windows.dim(0), steps = windows.dim(1), c = windows.dim(2);
+  Tensor out({n, c * kFeaturesPerChannel});
+  const std::size_t in_stride = static_cast<std::size_t>(steps) * c;
+  const std::size_t out_stride =
+      static_cast<std::size_t>(c) * kFeaturesPerChannel;
+  for (int i = 0; i < n; ++i) {
+    summarize_into(windows.data() + static_cast<std::size_t>(i) * in_stride,
+                   steps, c,
+                   out.data() + static_cast<std::size_t>(i) * out_stride);
+  }
+  return out;
+}
+
+}  // namespace darnet::imu

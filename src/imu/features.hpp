@@ -1,0 +1,24 @@
+// Statistical summary features over IMU windows -- the classical feature
+// representation for SVM-style models (the paper does not specify its SVM
+// features; this module provides the standard alternative to raw-window
+// input, compared in bench_imu_models).
+#pragma once
+
+#include "imu/imu.hpp"
+
+namespace darnet::imu {
+
+/// Features per channel: mean, standard deviation, min, max, energy of
+/// the first difference (high-frequency content), and zero-crossing rate
+/// of the mean-removed signal.
+inline constexpr int kFeaturesPerChannel = 6;
+inline constexpr int kSummaryFeatureCount =
+    kImuChannels * kFeaturesPerChannel;
+
+/// Summarise one window [T, C] into [kSummaryFeatureCount] features.
+[[nodiscard]] Tensor summarize_window(const Tensor& window);
+
+/// Summarise a batch [N, T, C] -> [N, kSummaryFeatureCount].
+[[nodiscard]] Tensor summarize_windows(const Tensor& windows);
+
+}  // namespace darnet::imu

@@ -1,0 +1,309 @@
+#include "imu/imu.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace darnet::imu {
+
+namespace {
+
+constexpr double kGravity = 9.81;
+
+struct Vec3 {
+  double x{0}, y{0}, z{0};
+};
+
+struct Quat {
+  double w{1}, x{0}, y{0}, z{0};
+};
+
+Quat quat_from_euler(double roll, double pitch, double yaw) {
+  const double cr = std::cos(roll / 2), sr = std::sin(roll / 2);
+  const double cp = std::cos(pitch / 2), sp = std::sin(pitch / 2);
+  const double cy = std::cos(yaw / 2), sy = std::sin(yaw / 2);
+  return {cr * cp * cy + sr * sp * sy, sr * cp * cy - cr * sp * sy,
+          cr * sp * cy + sr * cp * sy, cr * cp * sy - sr * sp * cy};
+}
+
+/// Rotate world-frame vector into the device frame described by q.
+Vec3 rotate_inverse(const Quat& q, const Vec3& v) {
+  // v' = q^-1 * v * q for unit quaternion (conjugate = inverse).
+  const double w = q.w, x = -q.x, y = -q.y, z = -q.z;
+  // t = 2 * cross(q_vec, v)
+  const double tx = 2 * (y * v.z - z * v.y);
+  const double ty = 2 * (z * v.x - x * v.z);
+  const double tz = 2 * (x * v.y - y * v.x);
+  return {v.x + w * tx + (y * tz - z * ty),
+          v.y + w * ty + (z * tx - x * tz),
+          v.z + w * tz + (x * ty - y * tx)};
+}
+
+struct OrientationProfile {
+  double roll, pitch, yaw;        // nominal device attitude (radians)
+  double tremor;                  // hand micro-tremor amplitude (m/s^2)
+  double tap_rate_hz;             // texting tap bursts (0 = none)
+  double adjust_rate_hz;          // talking re-adjustment events (0 = none)
+  double gait_amp;                // pocket: leg/road coupling (m/s^2)
+  double gyro_jitter;             // rad/s baseline rotation noise
+};
+
+OrientationProfile profile_of(PhoneOrientation o) {
+  using enum PhoneOrientation;
+  constexpr double deg = std::numbers::pi / 180.0;
+  switch (o) {
+    case kTextingLeft:
+      return {-35 * deg, 40 * deg, 10 * deg, 0.25, 3.5, 0.0, 0.0, 0.05};
+    case kTextingRight:
+      return {35 * deg, 40 * deg, -10 * deg, 0.25, 3.5, 0.0, 0.0, 0.05};
+    case kTalkingLeft:
+      return {-80 * deg, 5 * deg, 25 * deg, 0.12, 0.0, 0.35, 0.0, 0.03};
+    case kTalkingRight:
+      return {80 * deg, 5 * deg, -25 * deg, 0.12, 0.0, 0.35, 0.0, 0.03};
+    case kPocket:
+      return {5 * deg, 85 * deg, 0 * deg, 0.03, 0.0, 0.0, 0.45, 0.015};
+  }
+  throw std::invalid_argument("profile_of: unknown orientation");
+}
+
+}  // namespace
+
+ImuClass imu_class_of(PhoneOrientation orientation) noexcept {
+  switch (orientation) {
+    case PhoneOrientation::kTextingLeft:
+    case PhoneOrientation::kTextingRight:
+      return ImuClass::kTexting;
+    case PhoneOrientation::kTalkingLeft:
+    case PhoneOrientation::kTalkingRight:
+      return ImuClass::kTalking;
+    case PhoneOrientation::kPocket:
+      return ImuClass::kNormal;
+  }
+  return ImuClass::kNormal;
+}
+
+const char* imu_class_name(ImuClass c) noexcept {
+  switch (c) {
+    case ImuClass::kNormal:
+      return "Normal";
+    case ImuClass::kTalking:
+      return "Talking";
+    case ImuClass::kTexting:
+      return "Texting";
+  }
+  return "?";
+}
+
+std::vector<ImuSample> generate_trace(PhoneOrientation orientation,
+                                      const ImuGenConfig& config,
+                                      util::Rng& rng) {
+  if (config.sample_hz <= 0.0 || config.duration_s <= 0.0) {
+    throw std::invalid_argument("generate_trace: invalid config");
+  }
+  const OrientationProfile prof = profile_of(orientation);
+  const auto steps =
+      static_cast<std::size_t>(config.duration_s * config.sample_hz) + 1;
+  const double dt = 1.0 / config.sample_hz;
+
+  // Per-trace randomness: attitude offset (how this driver holds the
+  // device), sensor bias, vibration phases, event schedules.
+  const double wander = 0.12 * config.attitude_wander;
+  double roll = prof.roll + config.attitude_roll_bias +
+                rng.gaussian(0.0, wander);
+  double pitch = prof.pitch + config.attitude_pitch_bias +
+                 rng.gaussian(0.0, wander);
+  double yaw = prof.yaw + rng.gaussian(0.0, 2.0 * wander);
+  const Vec3 accel_bias{rng.gaussian(0, 0.04), rng.gaussian(0, 0.04),
+                        rng.gaussian(0, 0.04)};
+  const Vec3 gyro_bias{rng.gaussian(0, 0.004), rng.gaussian(0, 0.004),
+                       rng.gaussian(0, 0.004)};
+  const double vib_f1 = rng.uniform(9.0, 14.0);   // engine/road band
+  const double vib_f2 = rng.uniform(1.2, 2.4);    // body sway band
+  const double vib_p1 = rng.uniform(0.0, 2 * std::numbers::pi);
+  const double vib_p2 = rng.uniform(0.0, 2 * std::numbers::pi);
+  // A vehicle turn occurs in roughly half the windows: world-frame yaw
+  // rate bump shared by every orientation.
+  const bool has_turn = rng.chance(0.5);
+  const double turn_t0 = rng.uniform(0.3, config.duration_s * 0.7);
+  const double turn_len = rng.uniform(1.0, 2.5);
+  const double turn_rate = rng.gaussian(0.0, 0.35);
+
+  // Tap bursts (texting): 2-4 bursts at random times, each a short run of
+  // sharp accelerometer pulses -- temporal structure a linear model on raw
+  // samples cannot phase-align.
+  std::vector<double> tap_times;
+  if (prof.tap_rate_hz > 0.0) {
+    const int bursts = static_cast<int>(rng.uniform_int(2, 4));
+    for (int b = 0; b < bursts; ++b) {
+      const double t0 = rng.uniform(0.1, config.duration_s - 0.6);
+      const int taps = static_cast<int>(rng.uniform_int(3, 7));
+      for (int k = 0; k < taps; ++k) {
+        tap_times.push_back(t0 + k / prof.tap_rate_hz +
+                            rng.gaussian(0.0, 0.02));
+      }
+    }
+  }
+  // Re-adjustment events (talking): 0-2 slow wrist rotations.
+  std::vector<double> adjust_times;
+  if (prof.adjust_rate_hz > 0.0) {
+    const int events = static_cast<int>(rng.uniform_int(0, 2));
+    for (int e = 0; e < events; ++e) {
+      adjust_times.push_back(rng.uniform(0.2, config.duration_s - 0.8));
+    }
+  }
+  const double gait_f = rng.uniform(1.6, 2.2);
+  const double gait_p = rng.uniform(0.0, 2 * std::numbers::pi);
+
+  std::vector<ImuSample> trace;
+  trace.reserve(steps);
+  double prev_roll = roll, prev_pitch = pitch, prev_yaw = yaw;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) * dt;
+
+    // Slow attitude wander (random walk, bounded by pull to nominal).
+    roll += 0.02 * (prof.roll - roll) * dt +
+            rng.gaussian(0.0, 0.01 * config.attitude_wander);
+    pitch += 0.02 * (prof.pitch - pitch) * dt +
+             rng.gaussian(0.0, 0.01 * config.attitude_wander);
+    yaw += rng.gaussian(0.0, 0.012 * config.attitude_wander);
+
+    // Talking re-adjustments tilt the device briefly.
+    double adjust_gyro = 0.0;
+    for (double t0 : adjust_times) {
+      const double u = (t - t0) / 0.6;
+      if (u >= 0.0 && u <= 1.0) {
+        const double env = std::sin(std::numbers::pi * u);
+        roll += 0.010 * env;
+        adjust_gyro += 0.8 * env;
+      }
+    }
+
+    const Quat q = quat_from_euler(roll, pitch, yaw);
+    const Vec3 g_dev = rotate_inverse(q, Vec3{0.0, 0.0, kGravity});
+
+    // Vehicle vibration (world frame, mostly vertical) seen in the device
+    // frame, plus the orientation-specific activity signal.
+    const double vib =
+        config.road_roughness *
+        (0.18 * std::sin(2 * std::numbers::pi * vib_f1 * t + vib_p1) +
+         0.35 * std::sin(2 * std::numbers::pi * vib_f2 * t + vib_p2));
+    const Vec3 vib_dev = rotate_inverse(q, Vec3{0.0, 0.05 * vib, vib});
+
+    double tap = 0.0;
+    for (double tt : tap_times) {
+      const double u = (t - tt) / 0.05;
+      if (u >= 0.0 && u <= 1.0) tap += 1.8 * std::exp(-4.0 * u);
+    }
+    const double gait =
+        prof.gait_amp *
+        std::sin(2 * std::numbers::pi * gait_f * t + gait_p);
+
+    ImuSample s;
+    s.timestamp_s = t;
+    const double noise = 0.05 * config.sensor_noise;
+    s.gravity = {static_cast<float>(g_dev.x + rng.gaussian(0, noise)),
+                 static_cast<float>(g_dev.y + rng.gaussian(0, noise)),
+                 static_cast<float>(g_dev.z + rng.gaussian(0, noise))};
+    s.accel = {
+        static_cast<float>(g_dev.x + vib_dev.x + accel_bias.x +
+                           prof.tremor * config.tremor_scale * rng.gaussian() + tap * 0.4 +
+                           rng.gaussian(0, noise)),
+        static_cast<float>(g_dev.y + vib_dev.y + accel_bias.y +
+                           prof.tremor * config.tremor_scale * rng.gaussian() + gait +
+                           rng.gaussian(0, noise)),
+        static_cast<float>(g_dev.z + vib_dev.z + accel_bias.z +
+                           prof.tremor * config.tremor_scale * rng.gaussian() + tap +
+                           rng.gaussian(0, noise))};
+
+    // Gyro: finite-difference of the attitude plus jitter, events, turn.
+    double turn_gyro = 0.0;
+    if (has_turn && t >= turn_t0 && t <= turn_t0 + turn_len) {
+      turn_gyro = turn_rate *
+                  std::sin(std::numbers::pi * (t - turn_t0) / turn_len);
+    }
+    const double droll = (roll - prev_roll) / dt;
+    const double dpitch = (pitch - prev_pitch) / dt;
+    const double dyaw = (yaw - prev_yaw) / dt + turn_gyro;
+    s.gyro = {static_cast<float>(droll + gyro_bias.x +
+                                 prof.gyro_jitter * rng.gaussian() +
+                                 adjust_gyro * 0.3),
+              static_cast<float>(dpitch + gyro_bias.y +
+                                 prof.gyro_jitter * rng.gaussian() +
+                                 tap * 0.08),
+              static_cast<float>(dyaw + gyro_bias.z +
+                                 prof.gyro_jitter * rng.gaussian())};
+    prev_roll = roll;
+    prev_pitch = pitch;
+    prev_yaw = yaw;
+
+    s.rotation = {static_cast<float>(q.w), static_cast<float>(q.x),
+                  static_cast<float>(q.y), static_cast<float>(q.z)};
+    trace.push_back(s);
+  }
+  return trace;
+}
+
+Tensor to_window(std::span<const ImuSample> trace) {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("to_window: trace too short");
+  }
+  const double span = trace.back().timestamp_s - trace.front().timestamp_s;
+  if (span + 1e-9 < kWindowSeconds - 1.0 / kWindowHz) {
+    throw std::invalid_argument("to_window: trace shorter than the window");
+  }
+
+  Tensor window({kWindowSteps, kImuChannels});
+  std::size_t cursor = 0;
+  for (int step = 0; step < kWindowSteps; ++step) {
+    const double target =
+        trace.front().timestamp_s + static_cast<double>(step) / kWindowHz;
+    // Advance to the closest sample at or after `target` and linearly
+    // interpolate with its predecessor.
+    while (cursor + 1 < trace.size() &&
+           trace[cursor + 1].timestamp_s < target) {
+      ++cursor;
+    }
+    const ImuSample& a = trace[cursor];
+    const ImuSample& b = trace[std::min(cursor + 1, trace.size() - 1)];
+    const double dt = b.timestamp_s - a.timestamp_s;
+    const double w = dt > 1e-12 ? std::clamp((target - a.timestamp_s) / dt,
+                                             0.0, 1.0)
+                                : 0.0;
+    auto lerp = [w](float x, float y) {
+      return static_cast<float>((1.0 - w) * x + w * y);
+    };
+    float* row = window.data() + static_cast<std::size_t>(step) * kImuChannels;
+    for (int k = 0; k < 3; ++k) row[k] = lerp(a.accel[k], b.accel[k]);
+    for (int k = 0; k < 3; ++k) row[3 + k] = lerp(a.gyro[k], b.gyro[k]);
+    for (int k = 0; k < 3; ++k) row[6 + k] = lerp(a.gravity[k], b.gravity[k]);
+    for (int k = 0; k < 4; ++k) row[9 + k] = lerp(a.rotation[k], b.rotation[k]);
+  }
+  return window;
+}
+
+Tensor generate_windows(std::span<const PhoneOrientation> orientations,
+                        const ImuGenConfig& config, util::Rng& rng) {
+  if (orientations.empty()) {
+    throw std::invalid_argument("generate_windows: empty request");
+  }
+  Tensor batch({static_cast<int>(orientations.size()), kWindowSteps,
+                kImuChannels});
+  const std::size_t stride =
+      static_cast<std::size_t>(kWindowSteps) * kImuChannels;
+  for (std::size_t i = 0; i < orientations.size(); ++i) {
+    const auto trace = generate_trace(orientations[i], config, rng);
+    const Tensor w = to_window(trace);
+    std::copy(w.data(), w.data() + stride, batch.data() + i * stride);
+  }
+  return batch;
+}
+
+Tensor flatten_windows(const Tensor& windows) {
+  if (windows.rank() != 3) {
+    throw std::invalid_argument("flatten_windows: [N, T, C] required");
+  }
+  return windows.reshaped(
+      {windows.dim(0), windows.dim(1) * windows.dim(2)});
+}
+
+}  // namespace darnet::imu

@@ -1,0 +1,95 @@
+// IMU data types, synthetic trace generation, and windowing.
+//
+// The paper's phone agent streams accelerometer, gyroscope, gravity and
+// rotation sensors (Android sensor manager, 25 ms updates). The RNN is
+// trained on windows of 20 samples: 4 Hz sampling over a 5 s horizon.
+// The three IMU-visible classes are the phone orientations of Section 5.1:
+// texting (waist-to-eye level, either hand), talking (at either ear), and
+// the front-right pocket position shared by every other behaviour.
+//
+// Hardware gate substitution (DESIGN.md): traces are synthesised from a
+// physical signal model -- gravity projected through the device attitude,
+// road vibration, micro-tremor, tap bursts while texting, re-adjustment
+// events while talking, gait/road bumps in the pocket -- with sensor bias
+// and noise. Left- and right-hand variants flip the sign of lateral
+// gravity, which is exactly the nonlinearity that separates the RNN from
+// the linear SVM baseline in the paper's Table 2.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace darnet::imu {
+
+using tensor::Tensor;
+
+/// One timestamped reading of all four sensors.
+struct ImuSample {
+  double timestamp_s{0.0};
+  std::array<float, 3> accel{};     // m/s^2, device frame
+  std::array<float, 3> gyro{};      // rad/s
+  std::array<float, 3> gravity{};   // m/s^2
+  std::array<float, 4> rotation{};  // unit quaternion (w, x, y, z)
+};
+
+/// Channels per sample when flattened for the models.
+inline constexpr int kImuChannels = 13;
+
+/// Paper window geometry: 4 Hz x 5 s = 20 steps.
+inline constexpr int kWindowSteps = 20;
+inline constexpr double kWindowSeconds = 5.0;
+inline constexpr double kWindowHz = 4.0;
+
+/// The five device orientations of Section 5.1.
+enum class PhoneOrientation {
+  kTextingLeft = 0,
+  kTextingRight = 1,
+  kTalkingLeft = 2,
+  kTalkingRight = 3,
+  kPocket = 4,
+};
+
+/// The three IMU sequence classes (Table 1: behaviours without phone use
+/// count as "Normal Driving" for the IMU data).
+enum class ImuClass { kNormal = 0, kTalking = 1, kTexting = 2 };
+inline constexpr int kImuClassCount = 3;
+
+[[nodiscard]] ImuClass imu_class_of(PhoneOrientation orientation) noexcept;
+[[nodiscard]] const char* imu_class_name(ImuClass c) noexcept;
+
+struct ImuGenConfig {
+  double sample_hz = 40.0;       // Android sensor manager: 25 ms updates
+  double duration_s = kWindowSeconds;
+  double road_roughness = 1.2;   // scales shared vehicle vibration
+  double sensor_noise = 2.2;     // scales white measurement noise
+  double attitude_wander = 1.5;  // scales slow drift of the device attitude
+
+  // Per-driver style (core::DriverStyle writes these): habitual grip.
+  double tremor_scale = 1.0;        // scales hand micro-tremor
+  double attitude_roll_bias = 0.0;  // radians added to the nominal attitude
+  double attitude_pitch_bias = 0.0;
+};
+
+/// Generate a raw sensor trace for one device orientation.
+[[nodiscard]] std::vector<ImuSample> generate_trace(
+    PhoneOrientation orientation, const ImuGenConfig& config, util::Rng& rng);
+
+/// Resample a trace to the paper's 4 Hz / 20-step window and pack it as a
+/// [kWindowSteps, kImuChannels] tensor (accel, gyro, gravity, rotation).
+/// The trace must span at least kWindowSeconds.
+[[nodiscard]] Tensor to_window(std::span<const ImuSample> trace);
+
+/// Convenience: a batch of windows, one per requested orientation, as
+/// [N, kWindowSteps, kImuChannels].
+[[nodiscard]] Tensor generate_windows(
+    std::span<const PhoneOrientation> orientations, const ImuGenConfig& config,
+    util::Rng& rng);
+
+/// Flatten windows [N, T, C] into SVM features [N, T*C].
+[[nodiscard]] Tensor flatten_windows(const Tensor& windows);
+
+}  // namespace darnet::imu

@@ -1,0 +1,46 @@
+// Stateless / lightly-stateful layers: ReLU, Flatten, Dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+/// Rectified linear unit, elementwise, any rank.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Collapses all trailing dims into one: [N, ...] -> [N, prod(...)].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// Inverted dropout: active only in training mode; evaluation is identity.
+class Dropout final : public Layer {
+ public:
+  Dropout(double drop_probability, std::uint64_t seed);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+  Tensor mask_;
+  bool last_training_{false};
+};
+
+}  // namespace darnet::nn

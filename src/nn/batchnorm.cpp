@@ -1,0 +1,151 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace darnet::nn {
+
+namespace {
+
+/// Iterate an NCHW or [N, C] tensor as (channel, flat index) pairs.
+template <typename Fn>
+void for_each_channel_element(const std::vector<int>& shape, Fn&& fn) {
+  if (shape.size() == 2) {
+    const int n = shape[0], c = shape[1];
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < c; ++j) {
+        fn(j, static_cast<std::size_t>(i) * c + j);
+      }
+    }
+    return;
+  }
+  const int n = shape[0], c = shape[1], h = shape[2], w = shape[3];
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      const std::size_t base = (static_cast<std::size_t>(i) * c + ch) * plane;
+      for (std::size_t p = 0; p < plane; ++p) fn(ch, base + p);
+    }
+  }
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(int features, double momentum, double epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::full({features}, 1.0f)),
+      beta_(Tensor({features})),
+      running_mean_({features}),
+      running_var_(Tensor::full({features}, 1.0f)) {
+  if (features <= 0 || momentum < 0.0 || momentum >= 1.0 || epsilon <= 0.0) {
+    throw std::invalid_argument("BatchNorm: invalid hyper-parameters");
+  }
+}
+
+void BatchNorm::check_input(const Tensor& input) const {
+  const bool ok =
+      (input.rank() == 2 && input.dim(1) == features_) ||
+      (input.rank() == 4 && input.dim(1) == features_);
+  if (!ok) {
+    throw std::invalid_argument("BatchNorm: expected [N, " +
+                                std::to_string(features_) +
+                                "] or NCHW with C=" +
+                                std::to_string(features_) + ", got " +
+                                input.shape_string());
+  }
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  check_input(input);
+  const std::size_t per_channel = input.numel() / features_;
+
+  Tensor mean({features_});
+  Tensor var({features_});
+  if (training) {
+    for_each_channel_element(input.shape(), [&](int c, std::size_t i) {
+      mean[static_cast<std::size_t>(c)] += input[i];
+    });
+    for (int c = 0; c < features_; ++c) {
+      mean[static_cast<std::size_t>(c)] /= static_cast<float>(per_channel);
+    }
+    for_each_channel_element(input.shape(), [&](int c, std::size_t i) {
+      const float d = input[i] - mean[static_cast<std::size_t>(c)];
+      var[static_cast<std::size_t>(c)] += d * d;
+    });
+    for (int c = 0; c < features_; ++c) {
+      var[static_cast<std::size_t>(c)] /= static_cast<float>(per_channel);
+      running_mean_[static_cast<std::size_t>(c)] =
+          static_cast<float>(momentum_) * running_mean_[static_cast<std::size_t>(c)] +
+          static_cast<float>(1.0 - momentum_) * mean[static_cast<std::size_t>(c)];
+      running_var_[static_cast<std::size_t>(c)] =
+          static_cast<float>(momentum_) * running_var_[static_cast<std::size_t>(c)] +
+          static_cast<float>(1.0 - momentum_) * var[static_cast<std::size_t>(c)];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Tensor inv_std({features_});
+  for (int c = 0; c < features_; ++c) {
+    inv_std[static_cast<std::size_t>(c)] = static_cast<float>(
+        1.0 / std::sqrt(var[static_cast<std::size_t>(c)] + epsilon_));
+  }
+
+  Tensor out(input.shape());
+  Tensor x_hat(input.shape());
+  for_each_channel_element(input.shape(), [&](int c, std::size_t i) {
+    const auto ci = static_cast<std::size_t>(c);
+    const float xh = (input[i] - mean[ci]) * inv_std[ci];
+    x_hat[i] = xh;
+    out[i] = gamma_.value[ci] * xh + beta_.value[ci];
+  });
+
+  if (training) {
+    x_hat_ = std::move(x_hat);
+    batch_mean_ = std::move(mean);
+    batch_inv_std_ = std::move(inv_std);
+    input_shape_ = input.shape();
+  }
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("BatchNorm::backward before forward(training)");
+  }
+  if (grad_output.shape() != input_shape_) {
+    throw std::invalid_argument("BatchNorm::backward: grad shape mismatch");
+  }
+  const auto m = static_cast<double>(grad_output.numel() / features_);
+
+  // Per-channel reductions: sum(dy), sum(dy * x_hat).
+  Tensor sum_dy({features_});
+  Tensor sum_dy_xhat({features_});
+  for_each_channel_element(input_shape_, [&](int c, std::size_t i) {
+    const auto ci = static_cast<std::size_t>(c);
+    sum_dy[ci] += grad_output[i];
+    sum_dy_xhat[ci] += grad_output[i] * x_hat_[i];
+  });
+
+  for (int c = 0; c < features_; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    gamma_.grad[ci] += sum_dy_xhat[ci];
+    beta_.grad[ci] += sum_dy[ci];
+  }
+
+  // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat)).
+  Tensor grad_in(input_shape_);
+  for_each_channel_element(input_shape_, [&](int c, std::size_t i) {
+    const auto ci = static_cast<std::size_t>(c);
+    const double scale =
+        static_cast<double>(gamma_.value[ci]) * batch_inv_std_[ci] / m;
+    grad_in[i] = static_cast<float>(
+        scale * (m * grad_output[i] - sum_dy[ci] -
+                 static_cast<double>(x_hat_[i]) * sum_dy_xhat[ci]));
+  });
+  return grad_in;
+}
+
+}  // namespace darnet::nn

@@ -1,0 +1,42 @@
+// Batch normalisation (per-channel for NCHW, per-feature for [N, D]) --
+// the normalisation Inception-V3 relies on; stabilises the MicroInception
+// stem under aggressive learning rates.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  /// `features`: channel count (NCHW input) or feature count ([N, D]).
+  BatchNorm(int features, double momentum = 0.9, double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override { return "BatchNorm"; }
+
+  [[nodiscard]] int features() const noexcept { return features_; }
+
+ private:
+  /// View any supported input as [N*spatial, C] slices: returns the per-
+  /// element channel index layout parameters.
+  void check_input(const Tensor& input) const;
+
+  int features_;
+  double momentum_;
+  double epsilon_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward cache for backward.
+  Tensor x_hat_;
+  Tensor batch_mean_;
+  Tensor batch_inv_std_;
+  std::vector<int> input_shape_;
+};
+
+}  // namespace darnet::nn

@@ -1,0 +1,27 @@
+// File-based model checkpoints. Wraps Sequential's parameter
+// serialisation with a magic/version header so stale or foreign files
+// fail loudly instead of loading garbage weights.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace darnet::nn {
+
+/// Write `model`'s parameters to `path` (overwrites).
+void save_checkpoint(Sequential& model, const std::string& path);
+
+/// Load parameters from `path` into `model`, whose architecture must
+/// match the one that produced the checkpoint.
+void load_checkpoint(Sequential& model, const std::string& path);
+
+/// Transfer the longest matching parameter prefix from `source` into
+/// `destination` (fine-tuning initialisation: two models that share a
+/// feature extractor but differ in their classification heads transfer
+/// everything up to the first shape mismatch). Returns the number of
+/// parameter tensors copied.
+std::size_t transfer_matching_params(Sequential& source,
+                                     Sequential& destination);
+
+}  // namespace darnet::nn

@@ -1,0 +1,150 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+
+namespace darnet::nn {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int padding,
+               util::Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      pad_(padding),
+      weight_(Tensor::he_normal({out_channels, in_channels, kernel, kernel},
+                                in_channels * kernel * kernel, rng)),
+      bias_(Tensor({out_channels})) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || padding < 0) {
+    throw std::invalid_argument("Conv2D: invalid hyper-parameters");
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4 || input.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2D::forward: expected NCHW with C=" +
+                                std::to_string(in_ch_) + ", got " +
+                                input.shape_string());
+  }
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int oh = h + 2 * pad_ - k_ + 1;
+  const int ow = w + 2 * pad_ - k_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("Conv2D::forward: kernel larger than input");
+  }
+  if (training) cached_input_ = input;
+
+  Tensor out({n, out_ch_, oh, ow});
+  const float* wts = weight_.value.data();
+  const float* bias = bias_.value.data();
+  const float* in = input.data();
+  float* o = out.data();
+
+  const std::size_t in_img = static_cast<std::size_t>(in_ch_) * h * w;
+  const std::size_t out_img = static_cast<std::size_t>(out_ch_) * oh * ow;
+
+  for (int img = 0; img < n; ++img) {
+    const float* x = in + img * in_img;
+    float* y = o + img * out_img;
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      float* yplane = y + static_cast<std::size_t>(oc) * oh * ow;
+      std::fill(yplane, yplane + static_cast<std::size_t>(oh) * ow, bias[oc]);
+      for (int ic = 0; ic < in_ch_; ++ic) {
+        const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
+        const float* kern =
+            wts + ((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_) * k_;
+        for (int kr = 0; kr < k_; ++kr) {
+          for (int kc = 0; kc < k_; ++kc) {
+            const float kv = kern[kr * k_ + kc];
+            if (kv == 0.0f) continue;
+            // Valid output range for this kernel offset.
+            const int r0 = std::max(0, pad_ - kr);
+            const int r1 = std::min(oh, h + pad_ - kr);
+            const int c0 = std::max(0, pad_ - kc);
+            const int c1 = std::min(ow, w + pad_ - kc);
+            for (int r = r0; r < r1; ++r) {
+              const float* xrow =
+                  xplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                  (c0 + kc - pad_);
+              float* yrow = yplane + static_cast<std::size_t>(r) * ow + c0;
+              const int len = c1 - c0;
+              for (int c = 0; c < len; ++c) yrow[c] += kv * xrow[c];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2D::backward before forward(training=true)");
+  }
+  const Tensor& input = cached_input_;
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int oh = grad_output.dim(2), ow = grad_output.dim(3);
+  if (grad_output.dim(0) != n || grad_output.dim(1) != out_ch_) {
+    throw std::invalid_argument("Conv2D::backward: grad shape mismatch");
+  }
+
+  Tensor grad_in(input.shape());
+  const float* wts = weight_.value.data();
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  const float* in = input.data();
+  const float* g = grad_output.data();
+  float* gi = grad_in.data();
+
+  const std::size_t in_img = static_cast<std::size_t>(in_ch_) * h * w;
+  const std::size_t out_img = static_cast<std::size_t>(out_ch_) * oh * ow;
+
+  for (int img = 0; img < n; ++img) {
+    const float* x = in + img * in_img;
+    const float* gy = g + img * out_img;
+    float* gx = gi + img * in_img;
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float* gplane = gy + static_cast<std::size_t>(oc) * oh * ow;
+      // Bias gradient: sum over the output plane.
+      double acc = 0.0;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(oh) * ow; ++i) {
+        acc += gplane[i];
+      }
+      db[oc] += static_cast<float>(acc);
+
+      for (int ic = 0; ic < in_ch_; ++ic) {
+        const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
+        float* gxplane = gx + static_cast<std::size_t>(ic) * h * w;
+        const std::size_t kbase =
+            (static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ * k_;
+        for (int kr = 0; kr < k_; ++kr) {
+          for (int kc = 0; kc < k_; ++kc) {
+            const int r0 = std::max(0, pad_ - kr);
+            const int r1 = std::min(oh, h + pad_ - kr);
+            const int c0 = std::max(0, pad_ - kc);
+            const int c1 = std::min(ow, w + pad_ - kc);
+            const float kv = wts[kbase + kr * k_ + kc];
+            double wacc = 0.0;
+            for (int r = r0; r < r1; ++r) {
+              const float* xrow =
+                  xplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                  (c0 + kc - pad_);
+              float* gxrow =
+                  gxplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                  (c0 + kc - pad_);
+              const float* grow = gplane + static_cast<std::size_t>(r) * ow + c0;
+              const int len = c1 - c0;
+              for (int c = 0; c < len; ++c) {
+                wacc += static_cast<double>(xrow[c]) * grow[c];
+                gxrow[c] += kv * grow[c];
+              }
+            }
+            dw[kbase + kr * k_ + kc] += static_cast<float>(wacc);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace darnet::nn

@@ -1,0 +1,33 @@
+// 2-D convolution over NCHW tensors with stride 1 and symmetric zero
+// padding. Kernels are [out_channels, in_channels, k, k].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+class Conv2D final : public Layer {
+ public:
+  /// `padding` of k/2 gives "same" output size for odd k.
+  Conv2D(int in_channels, int out_channels, int kernel, int padding,
+         util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "Conv2D"; }
+
+  [[nodiscard]] int in_channels() const noexcept { return in_ch_; }
+  [[nodiscard]] int out_channels() const noexcept { return out_ch_; }
+
+ private:
+  int in_ch_;
+  int out_ch_;
+  int k_;
+  int pad_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace darnet::nn

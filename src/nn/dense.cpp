@@ -1,0 +1,51 @@
+#include "nn/dense.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace darnet::nn {
+
+Dense::Dense(int in_features, int out_features, util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::he_normal({in_features, out_features}, in_features, rng)),
+      bias_(Tensor({out_features})) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: feature counts must be positive");
+  }
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected [N, " +
+                                std::to_string(in_) + "], got " +
+                                input.shape_string());
+  }
+  if (training) cached_input_ = input;
+  Tensor out = tensor::matmul(input, weight_.value);
+  const int n = out.dim(0);
+  for (int i = 0; i < n; ++i) {
+    float* row = out.data() + static_cast<std::size_t>(i) * out_;
+    const float* b = bias_.value.data();
+    for (int j = 0; j < out_; ++j) row[j] += b[j];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Dense::backward before forward(training=true)");
+  }
+  // dW = X^T G ; db = column sums of G ; dX = G W^T.
+  Tensor dw = tensor::matmul_at(cached_input_, grad_output);
+  tensor::add_inplace(weight_.grad, dw);
+
+  const int n = grad_output.dim(0);
+  float* db = bias_.grad.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = grad_output.data() + static_cast<std::size_t>(i) * out_;
+    for (int j = 0; j < out_; ++j) db[j] += row[j];
+  }
+  return tensor::matmul_bt(grad_output, weight_.value);
+}
+
+}  // namespace darnet::nn

@@ -1,0 +1,28 @@
+// Fully connected layer: y = x W + b, x is [N, in], W is [in, out].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+
+  [[nodiscard]] int in_features() const noexcept { return in_; }
+  [[nodiscard]] int out_features() const noexcept { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace darnet::nn

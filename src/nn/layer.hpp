@@ -1,0 +1,56 @@
+// Layer abstraction for the DarNet neural-network library.
+//
+// Layers are stateful (they own parameters and cache forward activations
+// needed by backward), trained with explicit reverse-mode passes: no tape,
+// no graph -- each layer knows its own derivative. This keeps the library
+// small, auditable, and fast on a single core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace darnet::nn {
+
+using tensor::Tensor;
+
+/// A learnable parameter: value plus its accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor initial)
+      : value(std::move(initial)), grad(value.shape()) {}
+
+  void zero_grad() noexcept { grad.zero(); }
+};
+
+/// Base class for all layers. forward() must be called before backward();
+/// backward() consumes the gradient w.r.t. the layer output and returns the
+/// gradient w.r.t. the layer input, accumulating parameter gradients.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  Layer(Layer&&) = default;
+  Layer& operator=(Layer&&) = default;
+
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers). Pointers remain
+  /// valid for the lifetime of the layer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace darnet::nn

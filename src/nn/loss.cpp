@@ -1,0 +1,57 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace darnet::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: [N, C] required");
+  }
+  const int n = logits.dim(0), c = logits.dim(1);
+  if (labels.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  Tensor probs = tensor::softmax_rows(logits);
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(n);
+  Tensor grad = probs;  // copy; becomes (p - onehot)/N below
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[i];
+    if (y < 0 || y >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float p = probs.at(i, y);
+    loss -= std::log(std::max(p, 1e-12f));
+    grad.at(i, y) -= 1.0f;
+  }
+  tensor::scale_inplace(grad, invn);
+  return {loss / n, std::move(grad)};
+}
+
+LossResult l2_distillation(const Tensor& student_out,
+                           const Tensor& teacher_out) {
+  if (!student_out.same_shape(teacher_out)) {
+    throw std::invalid_argument("l2_distillation: shape mismatch");
+  }
+  const int n = student_out.dim(0);
+  Tensor grad(student_out.shape());
+  const float* s = student_out.data();
+  const float* t = teacher_out.data();
+  float* g = grad.data();
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(n);
+  const std::size_t total = student_out.numel();
+  for (std::size_t i = 0; i < total; ++i) {
+    const float d = s[i] - t[i];
+    loss += 0.5 * static_cast<double>(d) * d;
+    g[i] = d * invn;
+  }
+  return {loss / n, std::move(grad)};
+}
+
+}  // namespace darnet::nn

@@ -1,0 +1,29 @@
+// Loss functions. Each returns the scalar loss (averaged over the batch)
+// and the gradient w.r.t. the model output, ready to feed to backward().
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace darnet::nn {
+
+using tensor::Tensor;
+
+struct LossResult {
+  double loss;
+  Tensor grad;  // d(loss)/d(model output), same shape as the output
+};
+
+/// Softmax + cross-entropy over logits [N, C] with integer labels.
+/// The combined gradient (softmax(x) - onehot)/N is numerically stable.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+/// Mean squared L2 distance between student and teacher outputs -- the
+/// paper's unsupervised dCNN distillation objective ("the loss-function
+/// computes the L2 euclidean distance between these two vectors").
+LossResult l2_distillation(const Tensor& student_out,
+                           const Tensor& teacher_out);
+
+}  // namespace darnet::nn

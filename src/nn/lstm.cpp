@@ -1,0 +1,300 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace darnet::nn {
+
+namespace {
+
+float sigmoidf(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// Extract timestep t of [N, T, D] into a [N, D] matrix.
+Tensor slice_step(const Tensor& input, int t) {
+  const int n = input.dim(0), steps = input.dim(1), d = input.dim(2);
+  Tensor out({n, d});
+  for (int i = 0; i < n; ++i) {
+    const float* src = input.data() +
+                       (static_cast<std::size_t>(i) * steps + t) * d;
+    float* dst = out.data() + static_cast<std::size_t>(i) * d;
+    std::copy(src, src + d, dst);
+  }
+  return out;
+}
+
+/// Accumulate a [N, D] matrix into timestep t of [N, T, D].
+void add_step(Tensor& dst, int t, const Tensor& src) {
+  const int n = dst.dim(0), steps = dst.dim(1), d = dst.dim(2);
+  for (int i = 0; i < n; ++i) {
+    float* out = dst.data() + (static_cast<std::size_t>(i) * steps + t) * d;
+    const float* in = src.data() + static_cast<std::size_t>(i) * d;
+    for (int j = 0; j < d; ++j) out[j] += in[j];
+  }
+}
+
+}  // namespace
+
+LstmDirection::LstmDirection(int input_dim_, int hidden_dim_, util::Rng& rng)
+    : wx(Tensor::he_normal({input_dim_, 4 * hidden_dim_}, input_dim_, rng)),
+      wh(Tensor::he_normal({hidden_dim_, 4 * hidden_dim_}, hidden_dim_, rng)),
+      b(Tensor({4 * hidden_dim_})),
+      input_dim(input_dim_),
+      hidden_dim(hidden_dim_) {
+  // Initialise the forget-gate bias to 1 so gradients flow at the start of
+  // training (standard LSTM practice).
+  for (int j = hidden_dim_; j < 2 * hidden_dim_; ++j) b.value.at(j) = 1.0f;
+}
+
+BiLstm::BiLstm(int input_dim, int hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_(hidden_dim),
+      fwd_(input_dim, hidden_dim, rng),
+      bwd_(input_dim, hidden_dim, rng) {
+  if (input_dim <= 0 || hidden_dim <= 0) {
+    throw std::invalid_argument("BiLstm: dims must be positive");
+  }
+}
+
+void BiLstm::run_direction(const Tensor& input, const LstmDirection& dir,
+                           bool reversed, bool training,
+                           DirectionTrace& trace, Tensor& output,
+                           int out_offset) {
+  const int n = input.dim(0), steps = input.dim(1);
+  const int h = dir.hidden_dim;
+
+  trace = DirectionTrace{};
+  if (training) {
+    trace.i.reserve(steps);
+    trace.f.reserve(steps);
+    trace.g.reserve(steps);
+    trace.o.reserve(steps);
+    trace.c.reserve(steps);
+    trace.tanh_c.reserve(steps);
+    trace.h.reserve(steps);
+  }
+
+  Tensor h_prev({n, h});
+  Tensor c_prev({n, h});
+
+  for (int step = 0; step < steps; ++step) {
+    const int t = reversed ? steps - 1 - step : step;
+    Tensor xt = slice_step(input, t);
+
+    // Fused gate pre-activations: Z = Xt Wx + Hprev Wh + b.
+    Tensor z = tensor::matmul(xt, dir.wx.value);
+    tensor::matmul_accumulate(h_prev, dir.wh.value, z);
+    for (int i = 0; i < n; ++i) {
+      float* row = z.data() + static_cast<std::size_t>(i) * 4 * h;
+      const float* bias = dir.b.value.data();
+      for (int j = 0; j < 4 * h; ++j) row[j] += bias[j];
+    }
+
+    Tensor gi({n, h}), gf({n, h}), gg({n, h}), go({n, h}), c({n, h}),
+        tc({n, h}), hh({n, h});
+    for (int i = 0; i < n; ++i) {
+      const float* row = z.data() + static_cast<std::size_t>(i) * 4 * h;
+      const float* cp = c_prev.data() + static_cast<std::size_t>(i) * h;
+      float* pi = gi.data() + static_cast<std::size_t>(i) * h;
+      float* pf = gf.data() + static_cast<std::size_t>(i) * h;
+      float* pg = gg.data() + static_cast<std::size_t>(i) * h;
+      float* po = go.data() + static_cast<std::size_t>(i) * h;
+      float* pc = c.data() + static_cast<std::size_t>(i) * h;
+      float* ptc = tc.data() + static_cast<std::size_t>(i) * h;
+      float* ph = hh.data() + static_cast<std::size_t>(i) * h;
+      for (int j = 0; j < h; ++j) {
+        pi[j] = sigmoidf(row[j]);
+        pf[j] = sigmoidf(row[h + j]);
+        pg[j] = std::tanh(row[2 * h + j]);
+        po[j] = sigmoidf(row[3 * h + j]);
+        pc[j] = pf[j] * cp[j] + pi[j] * pg[j];
+        ptc[j] = std::tanh(pc[j]);
+        ph[j] = po[j] * ptc[j];
+      }
+    }
+
+    // Write h into the output slab at [*, t, out_offset : out_offset+h].
+    const int out_f = output.dim(2);
+    for (int i = 0; i < n; ++i) {
+      float* dst = output.data() +
+                   (static_cast<std::size_t>(i) * steps + t) * out_f +
+                   out_offset;
+      const float* src = hh.data() + static_cast<std::size_t>(i) * h;
+      std::copy(src, src + h, dst);
+    }
+
+    h_prev = hh;
+    c_prev = c;
+    if (training) {
+      trace.i.push_back(std::move(gi));
+      trace.f.push_back(std::move(gf));
+      trace.g.push_back(std::move(gg));
+      trace.o.push_back(std::move(go));
+      trace.c.push_back(std::move(c));
+      trace.tanh_c.push_back(std::move(tc));
+      trace.h.push_back(std::move(hh));
+    }
+  }
+}
+
+Tensor BiLstm::forward(const Tensor& input, bool training) {
+  if (input.rank() != 3 || input.dim(2) != input_dim_) {
+    throw std::invalid_argument("BiLstm::forward: expected [N, T, " +
+                                std::to_string(input_dim_) + "], got " +
+                                input.shape_string());
+  }
+  const int n = input.dim(0), steps = input.dim(1);
+  Tensor output({n, steps, 2 * hidden_});
+  if (training) cached_input_ = input;
+  run_direction(input, fwd_, /*reversed=*/false, training, fwd_trace_, output,
+                0);
+  run_direction(input, bwd_, /*reversed=*/true, training, bwd_trace_, output,
+                hidden_);
+  return output;
+}
+
+void BiLstm::backprop_direction(const Tensor& grad_output, int out_offset,
+                                LstmDirection& dir, bool reversed,
+                                const DirectionTrace& trace,
+                                Tensor& grad_input) {
+  const int n = cached_input_.dim(0), steps = cached_input_.dim(1);
+  const int h = dir.hidden_dim;
+  const int out_f = grad_output.dim(2);
+
+  Tensor dh_next({n, h});
+  Tensor dc_next({n, h});
+
+  // Walk timesteps in reverse of the forward iteration order. `step` indexes
+  // the trace; `t` is the actual time index in the input tensor.
+  for (int step = steps - 1; step >= 0; --step) {
+    const int t = reversed ? steps - 1 - step : step;
+
+    // dh for this step = slice of grad_output + carry from the next step.
+    Tensor dh = dh_next;
+    for (int i = 0; i < n; ++i) {
+      const float* src = grad_output.data() +
+                         (static_cast<std::size_t>(i) * steps + t) * out_f +
+                         out_offset;
+      float* dst = dh.data() + static_cast<std::size_t>(i) * h;
+      for (int j = 0; j < h; ++j) dst[j] += src[j];
+    }
+
+    const Tensor& gi = trace.i[step];
+    const Tensor& gf = trace.f[step];
+    const Tensor& gg = trace.g[step];
+    const Tensor& go = trace.o[step];
+    const Tensor& tc = trace.tanh_c[step];
+    // c_{t-1} in iteration order (zeros at the first step).
+    const Tensor* c_prev = (step > 0) ? &trace.c[step - 1] : nullptr;
+
+    Tensor dz({n, 4 * h});
+    Tensor dc({n, h});
+    for (int i = 0; i < n; ++i) {
+      const std::size_t off = static_cast<std::size_t>(i) * h;
+      const float* pdh = dh.data() + off;
+      const float* pi = gi.data() + off;
+      const float* pf = gf.data() + off;
+      const float* pg = gg.data() + off;
+      const float* po = go.data() + off;
+      const float* ptc = tc.data() + off;
+      const float* pcn = dc_next.data() + off;
+      float* pdc = dc.data() + off;
+      float* pdz = dz.data() + static_cast<std::size_t>(i) * 4 * h;
+      for (int j = 0; j < h; ++j) {
+        const float d_o = pdh[j] * ptc[j];
+        const float dct = pcn[j] + pdh[j] * po[j] * (1.0f - ptc[j] * ptc[j]);
+        const float d_i = dct * pg[j];
+        const float cprev = c_prev
+                                ? (*c_prev)[off + static_cast<std::size_t>(j)]
+                                : 0.0f;
+        const float d_f = dct * cprev;
+        const float d_g = dct * pi[j];
+        pdc[j] = dct * pf[j];  // carries to c_{t-1}
+        pdz[j] = d_i * pi[j] * (1.0f - pi[j]);
+        pdz[h + j] = d_f * pf[j] * (1.0f - pf[j]);
+        pdz[2 * h + j] = d_g * (1.0f - pg[j] * pg[j]);
+        pdz[3 * h + j] = d_o * po[j] * (1.0f - po[j]);
+      }
+    }
+    dc_next = std::move(dc);
+
+    // Parameter gradients.
+    Tensor xt = slice_step(cached_input_, t);
+    Tensor dwx = tensor::matmul_at(xt, dz);
+    tensor::add_inplace(dir.wx.grad, dwx);
+
+    const Tensor h_prev_mat = (step > 0) ? trace.h[step - 1] : Tensor({n, h});
+    Tensor dwh = tensor::matmul_at(h_prev_mat, dz);
+    tensor::add_inplace(dir.wh.grad, dwh);
+
+    float* db = dir.b.grad.data();
+    for (int i = 0; i < n; ++i) {
+      const float* row = dz.data() + static_cast<std::size_t>(i) * 4 * h;
+      for (int j = 0; j < 4 * h; ++j) db[j] += row[j];
+    }
+
+    // Input gradient and hidden carry.
+    Tensor dx = tensor::matmul_bt(dz, dir.wx.value);
+    add_step(grad_input, t, dx);
+    dh_next = tensor::matmul_bt(dz, dir.wh.value);
+  }
+}
+
+Tensor BiLstm::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("BiLstm::backward before forward(training=true)");
+  }
+  if (grad_output.rank() != 3 || grad_output.dim(2) != 2 * hidden_) {
+    throw std::invalid_argument("BiLstm::backward: grad shape mismatch");
+  }
+  Tensor grad_input(cached_input_.shape());
+  backprop_direction(grad_output, 0, fwd_, /*reversed=*/false, fwd_trace_,
+                     grad_input);
+  backprop_direction(grad_output, hidden_, bwd_, /*reversed=*/true,
+                     bwd_trace_, grad_input);
+  return grad_input;
+}
+
+std::vector<Param*> BiLstm::params() {
+  return {&fwd_.wx, &fwd_.wh, &fwd_.b, &bwd_.wx, &bwd_.wh, &bwd_.b};
+}
+
+Tensor TemporalMeanPool::forward(const Tensor& input, bool training) {
+  if (input.rank() != 3) {
+    throw std::invalid_argument("TemporalMeanPool: [N, T, F] required");
+  }
+  if (training) input_shape_ = input.shape();
+  const int n = input.dim(0), steps = input.dim(1), f = input.dim(2);
+  const float inv = 1.0f / static_cast<float>(steps);
+  Tensor out({n, f});
+  for (int i = 0; i < n; ++i) {
+    float* dst = out.data() + static_cast<std::size_t>(i) * f;
+    for (int t = 0; t < steps; ++t) {
+      const float* src =
+          input.data() + (static_cast<std::size_t>(i) * steps + t) * f;
+      for (int j = 0; j < f; ++j) dst[j] += src[j];
+    }
+    for (int j = 0; j < f; ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+Tensor TemporalMeanPool::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("TemporalMeanPool::backward before forward");
+  }
+  const int n = input_shape_[0], steps = input_shape_[1], f = input_shape_[2];
+  const float inv = 1.0f / static_cast<float>(steps);
+  Tensor grad_in(input_shape_);
+  for (int i = 0; i < n; ++i) {
+    const float* src = grad_output.data() + static_cast<std::size_t>(i) * f;
+    for (int t = 0; t < steps; ++t) {
+      float* dst =
+          grad_in.data() + (static_cast<std::size_t>(i) * steps + t) * f;
+      for (int j = 0; j < f; ++j) dst[j] = src[j] * inv;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace darnet::nn

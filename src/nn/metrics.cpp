@@ -1,0 +1,134 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace darnet::nn {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes,
+                                 std::vector<std::string> class_names)
+    : classes_(num_classes),
+      names_(std::move(class_names)),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+  }
+  if (names_.empty()) {
+    for (int i = 0; i < classes_; ++i) names_.push_back(std::to_string(i + 1));
+  }
+  if (names_.size() != static_cast<std::size_t>(classes_)) {
+    throw std::invalid_argument("ConfusionMatrix: name count mismatch");
+  }
+}
+
+void ConfusionMatrix::add(int true_class, int predicted_class) {
+  if (true_class < 0 || true_class >= classes_ || predicted_class < 0 ||
+      predicted_class >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: class out of range");
+  }
+  ++counts_[static_cast<std::size_t>(true_class) * classes_ + predicted_class];
+  ++total_;
+}
+
+long ConfusionMatrix::count(int true_class, int predicted_class) const {
+  if (true_class < 0 || true_class >= classes_ || predicted_class < 0 ||
+      predicted_class >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::count: class out of range");
+  }
+  return counts_[static_cast<std::size_t>(true_class) * classes_ +
+                 predicted_class];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  long correct = 0;
+  for (int i = 0; i < classes_; ++i) correct += count(i, i);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::class_recall(int true_class) const {
+  long row = 0;
+  for (int j = 0; j < classes_; ++j) row += count(true_class, j);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(true_class, true_class)) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::class_precision(int predicted_class) const {
+  long col = 0;
+  for (int i = 0; i < classes_; ++i) col += count(i, predicted_class);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(predicted_class, predicted_class)) /
+         static_cast<double>(col);
+}
+
+double ConfusionMatrix::class_f1(int cls) const {
+  const double p = class_precision(cls);
+  const double r = class_recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  for (int c = 0; c < classes_; ++c) acc += class_f1(c);
+  return acc / classes_;
+}
+
+double ConfusionMatrix::confusion_rate(int true_class,
+                                       int predicted_class) const {
+  long row = 0;
+  for (int j = 0; j < classes_; ++j) row += count(true_class, j);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(true_class, predicted_class)) /
+         static_cast<double>(row);
+}
+
+std::string ConfusionMatrix::render() const {
+  std::vector<std::string> header{"true \\ pred"};
+  for (const auto& n : names_) header.push_back(n);
+  util::Table table(std::move(header));
+  for (int i = 0; i < classes_; ++i) {
+    std::vector<std::string> row{names_[i]};
+    for (int j = 0; j < classes_; ++j) {
+      row.push_back(util::fmt(confusion_rate(i, j), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+double topk_accuracy(const std::vector<float>& scores, int num_classes,
+                     const std::vector<int>& labels, int k) {
+  if (num_classes <= 0 || k < 1 || k > num_classes || labels.empty() ||
+      scores.size() != labels.size() * static_cast<std::size_t>(num_classes)) {
+    throw std::invalid_argument("topk_accuracy: inconsistent arguments");
+  }
+  long hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const float* row = scores.data() + i * num_classes;
+    const float true_score = row[labels[i]];
+    // Rank of the true class = classes scoring strictly higher.
+    int higher = 0;
+    for (int c = 0; c < num_classes; ++c) {
+      if (row[c] > true_score) ++higher;
+    }
+    if (higher < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double top1_accuracy(const std::vector<int>& predictions,
+                     const std::vector<int>& labels) {
+  if (predictions.size() != labels.size() || predictions.empty()) {
+    throw std::invalid_argument("top1_accuracy: size mismatch or empty");
+  }
+  long correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+}  // namespace darnet::nn

@@ -1,0 +1,63 @@
+// Classification metrics: Top-1 accuracy and confusion matrices -- the
+// quantities Tables 2/3 and Figure 5 of the paper report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace darnet::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes,
+                           std::vector<std::string> class_names = {});
+
+  void add(int true_class, int predicted_class);
+
+  [[nodiscard]] int num_classes() const noexcept { return classes_; }
+  [[nodiscard]] long count(int true_class, int predicted_class) const;
+  [[nodiscard]] long total() const noexcept { return total_; }
+
+  /// Overall Top-1 accuracy (Hit@1 in the paper's terminology).
+  [[nodiscard]] double accuracy() const;
+
+  /// Recall of one class: correct / row total (0 if the class is absent).
+  [[nodiscard]] double class_recall(int true_class) const;
+
+  /// Precision of one class: correct / column total (0 if never
+  /// predicted).
+  [[nodiscard]] double class_precision(int predicted_class) const;
+
+  /// Harmonic mean of precision and recall (0 when both are 0).
+  [[nodiscard]] double class_f1(int cls) const;
+
+  /// Unweighted mean of per-class F1 scores.
+  [[nodiscard]] double macro_f1() const;
+
+  /// Fraction of class `true_class` samples predicted as `predicted_class`
+  /// (a single row-normalised confusion cell, as plotted in Figure 5).
+  [[nodiscard]] double confusion_rate(int true_class,
+                                      int predicted_class) const;
+
+  /// Render the row-normalised matrix as an ASCII table.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int classes_;
+  std::vector<std::string> names_;
+  std::vector<long> counts_;  // row-major [true][pred]
+  long total_{0};
+};
+
+/// Top-1 accuracy of predictions vs labels.
+[[nodiscard]] double top1_accuracy(const std::vector<int>& predictions,
+                                   const std::vector<int>& labels);
+
+/// Top-k accuracy from score rows: a sample counts as a hit when its true
+/// class is among the k highest-scoring classes of its row.
+/// `scores`: row-major [N, C]; labels.size() == N; 1 <= k <= C.
+[[nodiscard]] double topk_accuracy(const std::vector<float>& scores,
+                                   int num_classes,
+                                   const std::vector<int>& labels, int k);
+
+}  // namespace darnet::nn

@@ -1,0 +1,55 @@
+// First-order optimizers operating on a parameter list.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  virtual void step(const std::vector<Param*>& params) = 0;
+
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with classical momentum and decoupled weight decay. The paper trains
+/// the dCNNs with plain SGD; momentum 0 recovers that.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0);
+  void step(const std::vector<Param*>& params) override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) -- used for the BiLSTM, which is brittle under raw SGD.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  void step(const std::vector<Param*>& params) override;
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  long t_{0};
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+/// Clip the global gradient norm across all params to `max_norm` (no-op if
+/// already below). Returns the pre-clip norm. Essential for BPTT stability.
+double clip_grad_norm(const std::vector<Param*>& params, double max_norm);
+
+}  // namespace darnet::nn

@@ -1,0 +1,189 @@
+#include "nn/pool.hpp"
+
+namespace darnet::nn {
+
+namespace {
+void check_nchw(const Tensor& input, const char* who) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument(std::string(who) + ": NCHW input required");
+  }
+}
+}  // namespace
+
+MaxPool2D::MaxPool2D(int kernel) : k_(kernel) {
+  if (kernel <= 1) throw std::invalid_argument("MaxPool2D: kernel must be >1");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool training) {
+  check_nchw(input, "MaxPool2D");
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  if (h % k_ != 0 || w % k_ != 0) {
+    throw std::invalid_argument("MaxPool2D: H and W must be divisible by k");
+  }
+  const int oh = h / k_, ow = w / k_;
+  Tensor out({n, c, oh, ow});
+  if (training) {
+    input_shape_ = input.shape();
+    argmax_.assign(out.numel(), 0);
+  }
+  const float* x = input.data();
+  float* y = out.data();
+  std::size_t oi = 0;
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane =
+          x + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      const std::size_t plane_base =
+          (static_cast<std::size_t>(img) * c + ch) * h * w;
+      for (int r = 0; r < oh; ++r) {
+        for (int col = 0; col < ow; ++col, ++oi) {
+          float best = plane[static_cast<std::size_t>(r * k_) * w + col * k_];
+          int best_idx = r * k_ * w + col * k_;
+          for (int dr = 0; dr < k_; ++dr) {
+            for (int dc = 0; dc < k_; ++dc) {
+              const int idx = (r * k_ + dr) * w + (col * k_ + dc);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[oi] = best;
+          if (training) {
+            argmax_[oi] = static_cast<int>(plane_base) + best_idx;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("MaxPool2D::backward before forward");
+  }
+  if (grad_output.numel() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2D::backward: grad shape mismatch");
+  }
+  Tensor grad_in(input_shape_);
+  float* gi = grad_in.data();
+  const float* g = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    gi[argmax_[i]] += g[i];
+  }
+  return grad_in;
+}
+
+AvgPool2D::AvgPool2D(int kernel) : k_(kernel) {
+  if (kernel <= 1) throw std::invalid_argument("AvgPool2D: kernel must be >1");
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool training) {
+  check_nchw(input, "AvgPool2D");
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  if (h % k_ != 0 || w % k_ != 0) {
+    throw std::invalid_argument("AvgPool2D: H and W must be divisible by k");
+  }
+  if (training) input_shape_ = input.shape();
+  const int oh = h / k_, ow = w / k_;
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  Tensor out({n, c, oh, ow});
+  const float* x = input.data();
+  float* y = out.data();
+  std::size_t oi = 0;
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane =
+          x + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      for (int r = 0; r < oh; ++r) {
+        for (int col = 0; col < ow; ++col, ++oi) {
+          float acc = 0.0f;
+          for (int dr = 0; dr < k_; ++dr) {
+            for (int dc = 0; dc < k_; ++dc) {
+              acc += plane[(r * k_ + dr) * w + (col * k_ + dc)];
+            }
+          }
+          y[oi] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("AvgPool2D::backward before forward");
+  }
+  const int n = input_shape_[0], c = input_shape_[1], h = input_shape_[2],
+            w = input_shape_[3];
+  const int oh = h / k_, ow = w / k_;
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  Tensor grad_in(input_shape_);
+  float* gi = grad_in.data();
+  const float* g = grad_output.data();
+  std::size_t oi = 0;
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      float* plane = gi + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      for (int r = 0; r < oh; ++r) {
+        for (int col = 0; col < ow; ++col, ++oi) {
+          const float v = g[oi] * inv;
+          for (int dr = 0; dr < k_; ++dr) {
+            for (int dc = 0; dc < k_; ++dc) {
+              plane[(r * k_ + dr) * w + (col * k_ + dc)] += v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  check_nchw(input, "GlobalAvgPool");
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  if (training) input_shape_ = input.shape();
+  const float inv = 1.0f / static_cast<float>(h * w);
+  Tensor out({n, c});
+  const float* x = input.data();
+  float* y = out.data();
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane =
+          x + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      double acc = 0.0;
+      for (int i = 0; i < h * w; ++i) acc += plane[i];
+      y[static_cast<std::size_t>(img) * c + ch] =
+          static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("GlobalAvgPool::backward before forward");
+  }
+  const int n = input_shape_[0], c = input_shape_[1], h = input_shape_[2],
+            w = input_shape_[3];
+  const float inv = 1.0f / static_cast<float>(h * w);
+  Tensor grad_in(input_shape_);
+  float* gi = grad_in.data();
+  const float* g = grad_output.data();
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float v = g[static_cast<std::size_t>(img) * c + ch] * inv;
+      float* plane = gi + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      for (int i = 0; i < h * w; ++i) plane[i] = v;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace darnet::nn

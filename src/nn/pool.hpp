@@ -1,0 +1,50 @@
+// Pooling layers over NCHW tensors.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+/// Non-overlapping max pooling (kernel == stride). Input H/W must be
+/// divisible by the kernel.
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(int kernel);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  int k_;
+  std::vector<int> argmax_;       // flat input index per output element
+  std::vector<int> input_shape_;  // NCHW of forward input
+};
+
+/// Non-overlapping average pooling (kernel == stride). Used by inception
+/// pool branches.
+class AvgPool2D final : public Layer {
+ public:
+  explicit AvgPool2D(int kernel);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "AvgPool2D"; }
+
+ private:
+  int k_;
+  std::vector<int> input_shape_;
+};
+
+/// Collapses each channel plane to its mean: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+}  // namespace darnet::nn

@@ -1,0 +1,67 @@
+#include "nn/sequential.hpp"
+
+namespace darnet::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+void Sequential::save_params(util::BinaryWriter& writer) {
+  const auto all = params();
+  writer.write_u32(static_cast<std::uint32_t>(all.size()));
+  for (Param* p : all) p->value.serialize(writer);
+}
+
+void Sequential::load_params(util::BinaryReader& reader) {
+  const auto all = params();
+  const auto n = reader.read_u32();
+  if (n != all.size()) {
+    throw std::invalid_argument(
+        "Sequential::load_params: checkpoint/architecture mismatch");
+  }
+  for (Param* p : all) {
+    Tensor loaded = Tensor::deserialize(reader);
+    if (!loaded.same_shape(p->value)) {
+      throw std::invalid_argument(
+          "Sequential::load_params: parameter shape mismatch");
+    }
+    p->value = std::move(loaded);
+    p->grad = Tensor(p->value.shape());
+  }
+}
+
+void zero_grads(Layer& model) {
+  for (Param* p : model.params()) p->zero_grad();
+}
+
+}  // namespace darnet::nn

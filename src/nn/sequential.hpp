@@ -1,0 +1,43 @@
+// Sequential layer container + checkpoint serialisation.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace darnet::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Total learnable scalar count.
+  [[nodiscard]] std::size_t parameter_count();
+
+  /// Checkpointing: parameters only, in layer order. The architecture must
+  /// be reconstructed by the caller before load.
+  void save_params(util::BinaryWriter& writer);
+  void load_params(util::BinaryReader& reader);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Zero all parameter gradients of any layer tree.
+void zero_grads(Layer& model);
+
+}  // namespace darnet::nn

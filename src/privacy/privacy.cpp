@@ -1,0 +1,132 @@
+#include "privacy/privacy.hpp"
+
+#include <stdexcept>
+
+namespace darnet::privacy {
+
+const char* distortion_name(DistortionLevel level) noexcept {
+  switch (level) {
+    case DistortionLevel::kNone:
+      return "none";
+    case DistortionLevel::kLow:
+      return "low (dCNN-L)";
+    case DistortionLevel::kMedium:
+      return "medium (dCNN-M)";
+    case DistortionLevel::kHigh:
+      return "high (dCNN-H)";
+  }
+  return "?";
+}
+
+int distortion_factor(DistortionLevel level) noexcept {
+  switch (level) {
+    case DistortionLevel::kNone:
+      return 1;
+    case DistortionLevel::kLow:
+      return 3;
+    case DistortionLevel::kMedium:
+      return 6;
+    case DistortionLevel::kHigh:
+      return 12;
+  }
+  return 1;
+}
+
+int distorted_size(DistortionLevel level, int original) {
+  const int factor = distortion_factor(level);
+  const int size = original / factor;
+  if (size < 1) {
+    throw std::invalid_argument("distorted_size: frame too small for level");
+  }
+  return size;
+}
+
+TaggedFrame DistortionModule::process(const vision::Image& frame) const {
+  if (frame.empty()) {
+    throw std::invalid_argument("DistortionModule::process: empty frame");
+  }
+  const int target = distorted_size(level_, frame.width());
+  TaggedFrame out;
+  out.level = level_;
+  out.image = (target == frame.width())
+                  ? frame
+                  : vision::resize_nearest(frame, target, target);
+  return out;
+}
+
+std::size_t wire_bytes(const TaggedFrame& frame) noexcept {
+  // 1 byte per pixel plus a 1-byte distortion-level tag.
+  return static_cast<std::size_t>(frame.image.width()) *
+             static_cast<std::size_t>(frame.image.height()) +
+         1;
+}
+
+vision::Image reconstruct(const TaggedFrame& frame, int model_input_size) {
+  if (frame.image.empty()) {
+    throw std::invalid_argument("reconstruct: empty frame");
+  }
+  if (frame.image.width() == model_input_size &&
+      frame.image.height() == model_input_size) {
+    return frame.image;
+  }
+  return vision::resize_nearest(frame.image, model_input_size,
+                                model_input_size);
+}
+
+Tensor apply_distortion(const Tensor& frames, DistortionLevel level) {
+  if (frames.rank() != 4 || frames.dim(1) != 1) {
+    throw std::invalid_argument("apply_distortion: [N, 1, H, W] required");
+  }
+  const int n = frames.dim(0);
+  const int edge = frames.dim(3);
+  Tensor out(frames.shape());
+  DistortionModule module(level);
+  const std::size_t stride = static_cast<std::size_t>(edge) * frames.dim(2);
+  for (int i = 0; i < n; ++i) {
+    const vision::Image clean = vision::from_batch_tensor(frames, i);
+    const vision::Image rebuilt = reconstruct(module.process(clean), edge);
+    std::copy(rebuilt.pixels().begin(), rebuilt.pixels().end(),
+              out.data() + static_cast<std::size_t>(i) * stride);
+  }
+  return out;
+}
+
+double distill_dcnn(nn::Sequential& student, nn::Sequential& teacher,
+                    const Tensor& clean_frames, DistortionLevel level,
+                    nn::Optimizer& optimizer, const nn::TrainConfig& config) {
+  // Step 1: record the teacher's outputs on the clean frames. In the
+  // deployment this happens on-device, so the original image never leaves
+  // the vehicle.
+  Tensor teacher_out = nn::predict_logits(teacher, clean_frames);
+  // Steps 2-3: down-sample, tag, and ship; the server reconstructs.
+  Tensor distorted = apply_distortion(clean_frames, level);
+  // Step 4: minimise the L2 distance between the student's output on the
+  // distorted frame and the teacher's recorded output.
+  return nn::train_distillation(student, optimizer, distorted, teacher_out,
+                                config);
+}
+
+void PrivacyRouter::register_model(DistortionLevel level, nn::Layer& model,
+                                   int model_input_size) {
+  if (model_input_size <= 0) {
+    throw std::invalid_argument("PrivacyRouter: invalid input size");
+  }
+  models_[level] = Entry{&model, model_input_size};
+}
+
+bool PrivacyRouter::has_model(DistortionLevel level) const noexcept {
+  return models_.contains(level);
+}
+
+Tensor PrivacyRouter::classify(const TaggedFrame& frame) const {
+  const auto it = models_.find(frame.level);
+  if (it == models_.end()) {
+    throw std::out_of_range("PrivacyRouter: no model for level " +
+                            std::string(distortion_name(frame.level)));
+  }
+  const vision::Image input = reconstruct(frame, it->second.input_size);
+  const vision::Image batch[] = {input};
+  return nn::predict_proba(*it->second.model, vision::to_batch_tensor(batch));
+}
+
+}  // namespace darnet::privacy

@@ -1,0 +1,105 @@
+// Privacy-preserving analytics (Sections 4.3 / 5.3).
+//
+// The distortion module nearest-neighbour down-samples frames before they
+// leave the vehicle and tags them with the level; the remote engine routes
+// each tagged frame to the matching dCNN. dCNN models share the teacher's
+// architecture, are initialised from its weights, and are trained
+// *unsupervised*: the loss is the L2 distance between the student's output
+// on the distorted frame and the teacher's recorded output on the original
+// frame (a de-noising-autoencoder-style objective).
+//
+// Geometry (DESIGN.md): frames render at 48x48 (standing in for 300x300);
+// Low/Medium/High distortion are 16x16 / 8x8 / 4x4 -- the paper's 3x / 6x
+// / 12x linear reduction, i.e. ~9x / 36x / 144x less data per frame.
+#pragma once
+
+#include <map>
+
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "vision/image.hpp"
+
+namespace darnet::privacy {
+
+using nn::Tensor;
+
+enum class DistortionLevel : std::uint32_t {
+  kNone = 0,
+  kLow = 1,     // dCNN-L  (paper: 300 -> 100)
+  kMedium = 2,  // dCNN-M  (paper: 300 -> 50)
+  kHigh = 3,    // dCNN-H  (paper: 300 -> 25)
+};
+
+[[nodiscard]] const char* distortion_name(DistortionLevel level) noexcept;
+
+/// Linear down-sampling factor of a level (1, 3, 6, 12).
+[[nodiscard]] int distortion_factor(DistortionLevel level) noexcept;
+
+/// Edge length after distorting an `original`-sized frame.
+[[nodiscard]] int distorted_size(DistortionLevel level, int original);
+
+/// A frame as transmitted: down-sampled pixels plus the level tag.
+struct TaggedFrame {
+  DistortionLevel level{DistortionLevel::kNone};
+  vision::Image image;
+};
+
+/// The distortion module that runs on the vehicle side.
+class DistortionModule {
+ public:
+  explicit DistortionModule(DistortionLevel level) : level_(level) {}
+
+  [[nodiscard]] TaggedFrame process(const vision::Image& frame) const;
+  [[nodiscard]] DistortionLevel level() const noexcept { return level_; }
+  void set_level(DistortionLevel level) noexcept { level_ = level; }
+
+ private:
+  DistortionLevel level_;
+};
+
+/// Bytes needed to ship a tagged frame (1 byte/pixel + 1-byte tag) -- the
+/// quantity behind the paper's bandwidth-reduction claims.
+[[nodiscard]] std::size_t wire_bytes(const TaggedFrame& frame) noexcept;
+
+/// Reconstruct a model-input frame on the server side: nearest-neighbour
+/// up-sampling back to the model's input edge, so every dCNN shares the
+/// teacher's architecture.
+[[nodiscard]] vision::Image reconstruct(const TaggedFrame& frame,
+                                        int model_input_size);
+
+/// Distort then reconstruct a whole NCHW batch (training convenience).
+[[nodiscard]] Tensor apply_distortion(const Tensor& frames,
+                                      DistortionLevel level);
+
+/// Train a student dCNN against a teacher (paper's four-step methodology):
+/// teacher logits are recorded on the clean frames; the student sees only
+/// the distorted/reconstructed frames and minimises the L2 distance to the
+/// recorded outputs. Returns the final epoch's mean distillation loss.
+double distill_dcnn(nn::Sequential& student, nn::Sequential& teacher,
+                    const Tensor& clean_frames, DistortionLevel level,
+                    nn::Optimizer& optimizer, const nn::TrainConfig& config);
+
+/// Server-side classifier selection: "the analytics engine picks the
+/// appropriate classifier for performing feature extraction on the
+/// distorted video."
+class PrivacyRouter {
+ public:
+  /// Register the classifier for one level. Models are borrowed.
+  void register_model(DistortionLevel level, nn::Layer& model,
+                      int model_input_size);
+
+  /// Route a tagged frame to its classifier; returns class probabilities.
+  [[nodiscard]] Tensor classify(const TaggedFrame& frame) const;
+
+  [[nodiscard]] bool has_model(DistortionLevel level) const noexcept;
+
+ private:
+  struct Entry {
+    nn::Layer* model;
+    int input_size;
+  };
+  std::map<DistortionLevel, Entry> models_;
+};
+
+}  // namespace darnet::privacy

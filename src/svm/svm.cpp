@@ -1,0 +1,197 @@
+#include "svm/svm.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace darnet::svm {
+
+LinearSvm::LinearSvm(int feature_dim, int num_classes)
+    : dim_(feature_dim),
+      classes_(num_classes),
+      weights_({num_classes, feature_dim}),
+      biases_({num_classes}) {
+  if (feature_dim <= 0 || num_classes < 2) {
+    throw std::invalid_argument("LinearSvm: need dim > 0 and >= 2 classes");
+  }
+}
+
+Tensor LinearSvm::standardize(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != dim_) {
+    throw std::invalid_argument("LinearSvm: expected [N, " +
+                                std::to_string(dim_) + "], got " +
+                                x.shape_string());
+  }
+  Tensor out(x.shape());
+  const int n = x.dim(0);
+  for (int i = 0; i < n; ++i) {
+    const float* src = x.data() + static_cast<std::size_t>(i) * dim_;
+    float* dst = out.data() + static_cast<std::size_t>(i) * dim_;
+    for (int j = 0; j < dim_; ++j) dst[j] = (src[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+void LinearSvm::fit(const Tensor& x, std::span<const int> labels,
+                    const SvmConfig& config) {
+  const int n = x.dim(0);
+  if (labels.size() != static_cast<std::size_t>(n) || n == 0) {
+    throw std::invalid_argument("LinearSvm::fit: label count mismatch");
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= classes_) {
+      throw std::invalid_argument("LinearSvm::fit: label out of range");
+    }
+  }
+
+  // Fit the standardiser on the training data.
+  mean_.assign(dim_, 0.0f);
+  inv_std_.assign(dim_, 1.0f);
+  for (int i = 0; i < n; ++i) {
+    const float* row = x.data() + static_cast<std::size_t>(i) * dim_;
+    for (int j = 0; j < dim_; ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(n);
+  std::vector<double> var(dim_, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const float* row = x.data() + static_cast<std::size_t>(i) * dim_;
+    for (int j = 0; j < dim_; ++j) {
+      const double d = row[j] - mean_[j];
+      var[j] += d * d;
+    }
+  }
+  for (int j = 0; j < dim_; ++j) {
+    const double sd = std::sqrt(var[j] / n);
+    inv_std_[j] = sd > 1e-8 ? static_cast<float>(1.0 / sd) : 1.0f;
+  }
+
+  const Tensor xs = standardize(x);
+  weights_.zero();
+  biases_.zero();
+
+  // Averaged Pegasos: eta_t = 1 / (lambda * t), one-vs-rest updates per
+  // sample; the returned model averages the iterates of the second half of
+  // training, which removes the oscillation of the raw final iterate.
+  util::Rng rng(config.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  Tensor avg_w({classes_, dim_});
+  Tensor avg_b({classes_});
+  long averaged = 0;
+  long t = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      ++t;
+      const std::size_t i = order[oi];
+      const float* xi = xs.data() + i * dim_;
+      // t-offset tames the first iterations (eta_1 would otherwise be
+      // 1/lambda, slamming the weights); asymptotically identical schedule.
+      const double t0 = 1.0 / config.lambda;
+      const double eta =
+          1.0 / (config.lambda * (static_cast<double>(t) + t0));
+      const double radius = 1.0 / std::sqrt(config.lambda);
+      for (int c = 0; c < classes_; ++c) {
+        float* w = weights_.data() + static_cast<std::size_t>(c) * dim_;
+        const float yc = (labels[i] == c) ? 1.0f : -1.0f;
+        double margin = biases_[static_cast<std::size_t>(c)];
+        for (int j = 0; j < dim_; ++j) margin += w[j] * xi[j];
+        margin *= yc;
+        // L2 shrinkage.
+        const float shrink = static_cast<float>(1.0 - eta * config.lambda);
+        for (int j = 0; j < dim_; ++j) w[j] *= shrink;
+        if (margin < 1.0) {
+          const float step = static_cast<float>(eta) * yc;
+          for (int j = 0; j < dim_; ++j) w[j] += step * xi[j];
+          biases_[static_cast<std::size_t>(c)] += step;
+        }
+        // Pegasos projection onto the ball of radius 1/sqrt(lambda).
+        double norm_sq = 0.0;
+        for (int j = 0; j < dim_; ++j) {
+          norm_sq += static_cast<double>(w[j]) * w[j];
+        }
+        if (norm_sq > radius * radius) {
+          const float scale =
+              static_cast<float>(radius / std::sqrt(norm_sq));
+          for (int j = 0; j < dim_; ++j) w[j] *= scale;
+        }
+      }
+    }
+    if (epoch >= config.epochs / 2) {
+      tensor::add_inplace(avg_w, weights_);
+      tensor::add_inplace(avg_b, biases_);
+      ++averaged;
+    }
+  }
+  if (averaged > 0) {
+    tensor::scale_inplace(avg_w, 1.0f / static_cast<float>(averaged));
+    tensor::scale_inplace(avg_b, 1.0f / static_cast<float>(averaged));
+    weights_ = std::move(avg_w);
+    biases_ = std::move(avg_b);
+  }
+  trained_ = true;
+}
+
+Tensor LinearSvm::decision_values(const Tensor& x) const {
+  if (!trained_) throw std::logic_error("LinearSvm: predict before fit");
+  const Tensor xs = standardize(x);
+  const int n = xs.dim(0);
+  Tensor out({n, classes_});
+  for (int i = 0; i < n; ++i) {
+    const float* xi = xs.data() + static_cast<std::size_t>(i) * dim_;
+    float* orow = out.data() + static_cast<std::size_t>(i) * classes_;
+    for (int c = 0; c < classes_; ++c) {
+      const float* w = weights_.data() + static_cast<std::size_t>(c) * dim_;
+      double acc = biases_[static_cast<std::size_t>(c)];
+      for (int j = 0; j < dim_; ++j) acc += w[j] * xi[j];
+      orow[c] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor LinearSvm::probabilities(const Tensor& x) const {
+  return tensor::softmax_rows(decision_values(x));
+}
+
+std::vector<int> LinearSvm::predict(const Tensor& x) const {
+  Tensor margins = decision_values(x);
+  const int n = margins.dim(0);
+  std::vector<int> preds(n);
+  for (int i = 0; i < n; ++i) {
+    preds[i] = tensor::argmax(std::span<const float>(
+        margins.data() + static_cast<std::size_t>(i) * classes_,
+        static_cast<std::size_t>(classes_)));
+  }
+  return preds;
+}
+
+void LinearSvm::serialize(util::BinaryWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(dim_));
+  writer.write_u32(static_cast<std::uint32_t>(classes_));
+  writer.write_u8(trained_ ? 1 : 0);
+  weights_.serialize(writer);
+  biases_.serialize(writer);
+  writer.write_f32_span(mean_);
+  writer.write_f32_span(inv_std_);
+}
+
+LinearSvm LinearSvm::deserialize(util::BinaryReader& reader) {
+  const int dim = static_cast<int>(reader.read_u32());
+  const int classes = static_cast<int>(reader.read_u32());
+  LinearSvm svm(dim, classes);
+  svm.trained_ = reader.read_u8() != 0;
+  svm.weights_ = Tensor::deserialize(reader);
+  svm.biases_ = Tensor::deserialize(reader);
+  svm.mean_ = reader.read_f32_vector();
+  svm.inv_std_ = reader.read_f32_vector();
+  if (svm.weights_.dim(0) != classes || svm.weights_.dim(1) != dim ||
+      svm.mean_.size() != static_cast<std::size_t>(dim)) {
+    throw std::invalid_argument("LinearSvm::deserialize: corrupt payload");
+  }
+  return svm;
+}
+
+}  // namespace darnet::svm

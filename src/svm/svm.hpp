@@ -1,0 +1,66 @@
+// Multi-class linear SVM -- the paper's baseline model for IMU sequence
+// classification (the CNN+SVM architecture of Table 2).
+//
+// One-vs-rest linear classifiers trained with stochastic sub-gradient
+// descent on the hinge loss plus L2 regularisation (Pegasos-style). Inputs
+// are flattened, standardised feature vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace darnet::svm {
+
+using tensor::Tensor;
+
+struct SvmConfig {
+  int epochs = 30;
+  double lambda = 1e-4;  // L2 regularisation strength
+  std::uint64_t seed = 7;
+};
+
+/// Standardises features to zero mean / unit variance (fit on training
+/// data, applied everywhere), then trains one hinge-loss classifier per
+/// class; prediction is the max-margin class. decision_values() exposes
+/// margins, and probabilities() a softmax over margins so the SVM can slot
+/// into the same ensemble interface as the RNN.
+class LinearSvm {
+ public:
+  LinearSvm(int feature_dim, int num_classes);
+
+  /// x: [N, D] feature matrix; labels in [0, num_classes).
+  void fit(const Tensor& x, std::span<const int> labels,
+           const SvmConfig& config = {});
+
+  [[nodiscard]] std::vector<int> predict(const Tensor& x) const;
+
+  /// Per-class margins, [N, C].
+  [[nodiscard]] Tensor decision_values(const Tensor& x) const;
+
+  /// Softmax over margins, [N, C] -- pseudo-probabilities for ensembling.
+  [[nodiscard]] Tensor probabilities(const Tensor& x) const;
+
+  [[nodiscard]] int feature_dim() const noexcept { return dim_; }
+  [[nodiscard]] int num_classes() const noexcept { return classes_; }
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  void serialize(util::BinaryWriter& writer) const;
+  static LinearSvm deserialize(util::BinaryReader& reader);
+
+ private:
+  [[nodiscard]] Tensor standardize(const Tensor& x) const;
+
+  int dim_;
+  int classes_;
+  bool trained_{false};
+  Tensor weights_;  // [C, D]
+  Tensor biases_;   // [C]
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace darnet::svm

@@ -1,0 +1,173 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darnet::tensor {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+  require(a.dim(1) == b.dim(0), "matmul: inner dims mismatch");
+  Tensor c({a.dim(0), b.dim(1)});
+  matmul_accumulate(a, b, c);
+  return c;
+}
+
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+          "matmul_accumulate: rank-2 tensors required");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
+          "matmul_accumulate: shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: unit-stride inner loop over both B and C rows.
+  for (int i = 0; i < m; ++i) {
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = pa[static_cast<std::size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& bt) {
+  require(a.rank() == 2 && bt.rank() == 2, "matmul_bt: rank-2 required");
+  const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
+  require(bt.dim(1) == k, "matmul_bt: inner dims mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = bt.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& at, const Tensor& b) {
+  require(at.rank() == 2 && b.rank() == 2, "matmul_at: rank-2 required");
+  const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul_at: inner dims mismatch");
+  Tensor c({m, n});
+  const float* pa = at.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<std::size_t>(kk) * m;
+    const float* brow = pb + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void add_inplace(Tensor& dst, const Tensor& src) {
+  require(dst.same_shape(src), "add_inplace: shape mismatch");
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+void axpy(float alpha, const Tensor& src, Tensor& dst) {
+  require(dst.same_shape(src), "axpy: shape mismatch");
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.numel();
+  for (std::size_t i = 0; i < n; ++i) d[i] += alpha * s[i];
+}
+
+void scale_inplace(Tensor& t, float alpha) noexcept {
+  for (auto& v : t.flat()) v *= alpha;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  require(a.same_shape(b), "hadamard: shape mismatch");
+  Tensor c(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const std::size_t n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) pc[i] = pa[i] * pb[i];
+  return c;
+}
+
+double sum(const Tensor& t) noexcept {
+  double acc = 0.0;
+  for (float v : t.flat()) acc += v;
+  return acc;
+}
+
+double mean(const Tensor& t) {
+  if (t.empty()) throw std::invalid_argument("mean: empty tensor");
+  return sum(t) / static_cast<double>(t.numel());
+}
+
+float max_value(const Tensor& t) {
+  if (t.empty()) throw std::invalid_argument("max_value: empty tensor");
+  return *std::max_element(t.flat().begin(), t.flat().end());
+}
+
+int argmax(std::span<const float> values) {
+  if (values.empty()) throw std::invalid_argument("argmax: empty span");
+  return static_cast<int>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+double l2_norm(const Tensor& t) noexcept {
+  double acc = 0.0;
+  for (float v : t.flat()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  require(logits.rank() == 2, "softmax_rows: rank-2 required");
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<std::size_t>(i) * c;
+    float* orow = out.data() + static_cast<std::size_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& t) {
+  require(t.rank() == 2, "transpose: rank-2 required");
+  const int m = t.dim(0), n = t.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.at(j, i) = t.at(i, j);
+  }
+  return out;
+}
+
+}  // namespace darnet::tensor

@@ -1,0 +1,55 @@
+// Numeric kernels over Tensors. All functions are pure (outputs returned or
+// written to caller-provided tensors); hot paths are written over raw float
+// pointers for auto-vectorisation on a single core.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace darnet::tensor {
+
+/// C = A(MxK) * B(KxN). Shapes checked.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C += A(MxK) * B(KxN), accumulating into an existing tensor.
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(MxK) * B(NxK)^T -- the backward-friendly layout.
+Tensor matmul_bt(const Tensor& a, const Tensor& b_transposed);
+
+/// C = A(KxM)^T * B(KxN).
+Tensor matmul_at(const Tensor& a_transposed, const Tensor& b);
+
+/// Elementwise in-place: dst += src (shapes must match).
+void add_inplace(Tensor& dst, const Tensor& src);
+
+/// Elementwise in-place: dst += alpha * src.
+void axpy(float alpha, const Tensor& src, Tensor& dst);
+
+/// Elementwise in-place scaling.
+void scale_inplace(Tensor& t, float alpha) noexcept;
+
+/// Elementwise product (hadamard), returned.
+Tensor hadamard(const Tensor& a, const Tensor& b);
+
+/// Sum of all elements.
+[[nodiscard]] double sum(const Tensor& t) noexcept;
+
+/// Mean of all elements.
+[[nodiscard]] double mean(const Tensor& t);
+
+/// Max of all elements (tensor must be non-empty).
+[[nodiscard]] float max_value(const Tensor& t);
+
+/// Index of max element of a 1-d slice starting at `offset` of length `n`.
+[[nodiscard]] int argmax(std::span<const float> values);
+
+/// L2 norm of all elements.
+[[nodiscard]] double l2_norm(const Tensor& t) noexcept;
+
+/// Row-wise softmax of a [N, C] tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Transpose a [M, N] tensor.
+Tensor transpose(const Tensor& t);
+
+}  // namespace darnet::tensor

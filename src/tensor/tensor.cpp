@@ -1,0 +1,137 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace darnet::tensor {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor: dims must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::he_normal(std::vector<int> shape, int fan_in, util::Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("he_normal: fan_in must be > 0");
+  Tensor t(std::move(shape));
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (auto& v : t.data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<int> shape, float limit, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(-limit, limit));
+  return t;
+}
+
+void Tensor::fill(float value) noexcept {
+  for (auto& v : data_) v = value;
+}
+
+std::size_t Tensor::index2(int i0, int i1) const {
+  if (shape_.size() != 2 || i0 < 0 || i0 >= shape_[0] || i1 < 0 ||
+      i1 >= shape_[1]) {
+    throw std::out_of_range("Tensor::at(i,j): bad index or rank");
+  }
+  return static_cast<std::size_t>(i0) * shape_[1] + i1;
+}
+
+std::size_t Tensor::index3(int i0, int i1, int i2) const {
+  if (shape_.size() != 3 || i0 < 0 || i0 >= shape_[0] || i1 < 0 ||
+      i1 >= shape_[1] || i2 < 0 || i2 >= shape_[2]) {
+    throw std::out_of_range("Tensor::at(i,j,k): bad index or rank");
+  }
+  return (static_cast<std::size_t>(i0) * shape_[1] + i1) * shape_[2] + i2;
+}
+
+std::size_t Tensor::index4(int i0, int i1, int i2, int i3) const {
+  if (shape_.size() != 4 || i0 < 0 || i0 >= shape_[0] || i1 < 0 ||
+      i1 >= shape_[1] || i2 < 0 || i2 >= shape_[2] || i3 < 0 ||
+      i3 >= shape_[3]) {
+    throw std::out_of_range("Tensor::at(i,j,k,l): bad index or rank");
+  }
+  return ((static_cast<std::size_t>(i0) * shape_[1] + i1) * shape_[2] + i2) *
+             shape_[3] +
+         i3;
+}
+
+float& Tensor::at(int i0) {
+  if (shape_.size() != 1 || i0 < 0 || i0 >= shape_[0]) {
+    throw std::out_of_range("Tensor::at(i): bad index or rank");
+  }
+  return data_[static_cast<std::size_t>(i0)];
+}
+float& Tensor::at(int i0, int i1) { return data_[index2(i0, i1)]; }
+float& Tensor::at(int i0, int i1, int i2) { return data_[index3(i0, i1, i2)]; }
+float& Tensor::at(int i0, int i1, int i2, int i3) {
+  return data_[index4(i0, i1, i2, i3)];
+}
+
+float Tensor::at(int i0) const {
+  if (shape_.size() != 1 || i0 < 0 || i0 >= shape_[0]) {
+    throw std::out_of_range("Tensor::at(i): bad index or rank");
+  }
+  return data_[static_cast<std::size_t>(i0)];
+}
+float Tensor::at(int i0, int i1) const { return data_[index2(i0, i1)]; }
+float Tensor::at(int i0, int i1, int i2) const {
+  return data_[index3(i0, i1, i2)];
+}
+float Tensor::at(int i0, int i1, int i2, int i3) const {
+  return data_[index4(i0, i1, i2, i3)];
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out << ", ";
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+void Tensor::serialize(util::BinaryWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(shape_.size()));
+  for (int d : shape_) writer.write_u32(static_cast<std::uint32_t>(d));
+  writer.write_f32_span(data_);
+}
+
+Tensor Tensor::deserialize(util::BinaryReader& reader) {
+  const auto rank = reader.read_u32();
+  std::vector<int> shape(rank);
+  for (auto& d : shape) d = static_cast<int>(reader.read_u32());
+  Tensor t;
+  t.data_ = reader.read_f32_vector();
+  if (t.data_.size() != shape_numel(shape)) {
+    throw std::invalid_argument("Tensor::deserialize: corrupt payload");
+  }
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+}  // namespace darnet::tensor

@@ -1,0 +1,95 @@
+// Dense row-major float tensor -- the numeric substrate for the neural
+// network library. Deliberately minimal: contiguous float32 storage, shape
+// bookkeeping, and checked element access; all heavy math lives in
+// tensor/ops.hpp as free functions over spans.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace darnet::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::initializer_list<int> shape)
+      : Tensor(std::vector<int>(shape)) {}
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// He/Kaiming-style Gaussian initialisation: stddev = sqrt(2 / fan_in).
+  static Tensor he_normal(std::vector<int> shape, int fan_in,
+                          util::Rng& rng);
+  /// Uniform in [-limit, limit].
+  static Tensor uniform(std::vector<int> shape, float limit, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<int>& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] int dim(std::size_t axis) const {
+    if (axis >= shape_.size()) {
+      throw std::out_of_range("Tensor::dim: axis out of range");
+    }
+    return shape_[axis];
+  }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t numel() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Checked multi-index access (2-4 dims cover everything in DarNet).
+  float& at(int i0);
+  float& at(int i0, int i1);
+  float& at(int i0, int i1, int i2);
+  float& at(int i0, int i1, int i2, int i3);
+  [[nodiscard]] float at(int i0) const;
+  [[nodiscard]] float at(int i0, int i1) const;
+  [[nodiscard]] float at(int i0, int i1, int i2) const;
+  [[nodiscard]] float at(int i0, int i1, int i2, int i3) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Reinterpret the same storage with a new shape (numel must match).
+  [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
+
+  /// Shape equality.
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  [[nodiscard]] std::string shape_string() const;
+
+  void serialize(util::BinaryWriter& writer) const;
+  static Tensor deserialize(util::BinaryReader& reader);
+
+ private:
+  [[nodiscard]] std::size_t index2(int i0, int i1) const;
+  [[nodiscard]] std::size_t index3(int i0, int i1, int i2) const;
+  [[nodiscard]] std::size_t index4(int i0, int i1, int i2, int i3) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Total element count implied by a shape; throws on non-positive dims.
+[[nodiscard]] std::size_t shape_numel(const std::vector<int>& shape);
+
+}  // namespace darnet::tensor

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace darnet::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(); }
+void set_log_threshold(LogLevel level) noexcept { g_threshold.store(level); }
+
+namespace detail {
+void emit(LogLevel level, std::string_view message) {
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace darnet::util

@@ -1,0 +1,46 @@
+// Tiny leveled logger. Experiments print structured tables via util::Table;
+// the logger is for progress lines and diagnostics.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace darnet::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream out;
+  (out << ... << args);
+  emit(level, out.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace darnet::util

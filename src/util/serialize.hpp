@@ -1,0 +1,114 @@
+// Minimal binary serialisation used for model checkpoints and wire-format
+// messages in the collection framework.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace darnet::util {
+
+/// Appends POD values / strings / float buffers to a growable byte buffer.
+class BinaryWriter {
+ public:
+  void write_u8(std::uint8_t v) { append(&v, sizeof v); }
+  void write_u32(std::uint32_t v) { append(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { append(&v, sizeof v); }
+  void write_i64(std::int64_t v) { append(&v, sizeof v); }
+  void write_f32(float v) { append(&v, sizeof v); }
+  void write_f64(double v) { append(&v, sizeof v); }
+
+  void write_string(const std::string& s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+
+  void write_f32_span(std::span<const float> values) {
+    write_u64(values.size());
+    append(values.data(), values.size() * sizeof(float));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    append(bytes.data(), bytes.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buffer_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  void append(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads values back in the order they were written. Throws
+/// std::out_of_range on truncated input -- a truncated checkpoint or wire
+/// message is a hard error, never silently tolerated.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const auto n = read_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<float> read_f32_vector() {
+    const auto n = read_u64();
+    require(n * sizeof(float));
+    std::vector<float> out(n);
+    std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return out;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == bytes_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::out_of_range("BinaryReader: truncated input");
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_{0};
+};
+
+}  // namespace darnet::util

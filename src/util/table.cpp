@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace darnet::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table: header must not be empty");
+  }
+}
+
+Table& Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (auto w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(cells[i]);
+    }
+    out << '\n';
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+  return out.str();
+}
+
+void Table::save_csv(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("Table::save_csv: cannot open " + path);
+  out << csv();
+  if (!out) throw std::runtime_error("Table::save_csv: write failed");
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace darnet::util

@@ -1,0 +1,43 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables and confusion matrices in a readable, diff-friendly form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace darnet::util {
+
+/// A simple column-aligned text table.
+///
+///   Table t({"Model", "Hit@1"});
+///   t.add_row({"CNN+RNN", "87.02%"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> row);
+
+  /// Render with unicode-free ASCII borders.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string csv() const;
+
+  /// Write the CSV rendering to a file (creates parent directories).
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Format as a percentage string, e.g. 0.8702 -> "87.02%".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace darnet::util

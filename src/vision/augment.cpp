@@ -1,0 +1,53 @@
+#include "vision/augment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace darnet::vision {
+
+Image augment(const Image& source, const AugmentConfig& config,
+              util::Rng& rng) {
+  if (source.empty()) throw std::invalid_argument("augment: empty image");
+  const int w = source.width(), h = source.height();
+
+  const float brightness = static_cast<float>(
+      rng.uniform(-config.brightness_delta, config.brightness_delta));
+  const float contrast = static_cast<float>(
+      rng.uniform(1.0 - config.contrast_delta, 1.0 + config.contrast_delta));
+  const int max_shift = std::max(0, config.max_shift_px);
+  const int dx = static_cast<int>(rng.uniform_int(-max_shift, max_shift));
+  const int dy = static_cast<int>(rng.uniform_int(-max_shift, max_shift));
+  const bool flip = rng.chance(config.hflip_probability);
+
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int sx0 = flip ? w - 1 - x : x;
+      const float v = source.sample(sx0 - dx, y - dy);
+      // Contrast pivots around mid-gray so dark scenes stay dark.
+      out.at(x, y) = (v - 0.5f) * contrast + 0.5f + brightness;
+    }
+  }
+  out.clamp();
+  return out;
+}
+
+tensor::Tensor augment_batch(const tensor::Tensor& frames,
+                             const AugmentConfig& config, util::Rng& rng) {
+  if (frames.rank() != 4 || frames.dim(1) != 1) {
+    throw std::invalid_argument("augment_batch: [N, 1, H, W] required");
+  }
+  tensor::Tensor out(frames.shape());
+  const int n = frames.dim(0);
+  const std::size_t stride =
+      static_cast<std::size_t>(frames.dim(2)) * frames.dim(3);
+  for (int i = 0; i < n; ++i) {
+    const Image img = from_batch_tensor(frames, i);
+    const Image aug = augment(img, config, rng);
+    std::copy(aug.pixels().begin(), aug.pixels().end(),
+              out.data() + static_cast<std::size_t>(i) * stride);
+  }
+  return out;
+}
+
+}  // namespace darnet::vision

@@ -1,0 +1,29 @@
+// Training-time image augmentation. The paper fine-tunes Inception-V3
+// through the TensorFlow pipeline, which augments implicitly; here
+// augmentation is an explicit, testable stage that the DarNet trainer can
+// apply to frame batches.
+#pragma once
+
+#include "util/rng.hpp"
+#include "vision/image.hpp"
+
+namespace darnet::vision {
+
+struct AugmentConfig {
+  double brightness_delta = 0.12;  // uniform +/- additive shift
+  double contrast_delta = 0.15;    // uniform multiplicative (1 +/- delta)
+  int max_shift_px = 2;            // random translation, zero-filled
+  double hflip_probability = 0.0;  // off by default: the cabin is chiral
+};
+
+/// Augment one image (returns a transformed copy).
+[[nodiscard]] Image augment(const Image& source, const AugmentConfig& config,
+                            util::Rng& rng);
+
+/// Augment every frame of an NCHW batch [N, 1, H, W] in place-ish
+/// (returns a new tensor of the same shape).
+[[nodiscard]] tensor::Tensor augment_batch(const tensor::Tensor& frames,
+                                           const AugmentConfig& config,
+                                           util::Rng& rng);
+
+}  // namespace darnet::vision

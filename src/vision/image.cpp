@@ -1,0 +1,163 @@
+#include "vision/image.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace darnet::vision {
+
+Image::Image(int width, int height, float fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Image: dimensions must be positive");
+  }
+}
+
+float& Image::at(int x, int y) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw std::out_of_range("Image::at: out of bounds");
+  }
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+float Image::at(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw std::out_of_range("Image::at: out of bounds");
+  }
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+float Image::sample(int x, int y) const noexcept {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return 0.0f;
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void Image::blend(int x, int y, float value, float alpha) noexcept {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  float& p = pixels_[static_cast<std::size_t>(y) * width_ + x];
+  p = (1.0f - alpha) * p + alpha * value;
+}
+
+void Image::clamp() {
+  for (float& p : pixels_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+Image resize_nearest(const Image& src, int new_width, int new_height) {
+  if (src.empty()) throw std::invalid_argument("resize_nearest: empty image");
+  Image dst(new_width, new_height);
+  for (int y = 0; y < new_height; ++y) {
+    const int sy = std::min(src.height() - 1,
+                            static_cast<int>(static_cast<long>(y) *
+                                             src.height() / new_height));
+    for (int x = 0; x < new_width; ++x) {
+      const int sx = std::min(src.width() - 1,
+                              static_cast<int>(static_cast<long>(x) *
+                                               src.width() / new_width));
+      dst.at(x, y) = src.at(sx, sy);
+    }
+  }
+  return dst;
+}
+
+Image resize_box_average(const Image& src, int new_width, int new_height) {
+  if (src.empty()) {
+    throw std::invalid_argument("resize_box_average: empty image");
+  }
+  if (new_width > src.width() || new_height > src.height()) {
+    throw std::invalid_argument(
+        "resize_box_average: up-scaling not supported");
+  }
+  Image dst(new_width, new_height);
+  for (int y = 0; y < new_height; ++y) {
+    const int sy0 = static_cast<int>(static_cast<long>(y) * src.height() /
+                                     new_height);
+    const int sy1 = std::max(
+        sy0 + 1, static_cast<int>(static_cast<long>(y + 1) * src.height() /
+                                  new_height));
+    for (int x = 0; x < new_width; ++x) {
+      const int sx0 = static_cast<int>(static_cast<long>(x) * src.width() /
+                                       new_width);
+      const int sx1 = std::max(
+          sx0 + 1, static_cast<int>(static_cast<long>(x + 1) * src.width() /
+                                    new_width));
+      double acc = 0.0;
+      for (int sy = sy0; sy < sy1; ++sy) {
+        for (int sx = sx0; sx < sx1; ++sx) acc += src.at(sx, sy);
+      }
+      dst.at(x, y) = static_cast<float>(
+          acc / (static_cast<double>(sy1 - sy0) * (sx1 - sx0)));
+    }
+  }
+  return dst;
+}
+
+tensor::Tensor to_batch_tensor(std::span<const Image> images) {
+  if (images.empty()) {
+    throw std::invalid_argument("to_batch_tensor: empty batch");
+  }
+  const int w = images.front().width();
+  const int h = images.front().height();
+  tensor::Tensor batch({static_cast<int>(images.size()), 1, h, w});
+  const std::size_t stride = static_cast<std::size_t>(w) * h;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    if (images[i].width() != w || images[i].height() != h) {
+      throw std::invalid_argument("to_batch_tensor: mixed image sizes");
+    }
+    std::copy(images[i].pixels().begin(), images[i].pixels().end(),
+              batch.data() + i * stride);
+  }
+  return batch;
+}
+
+Image from_batch_tensor(const tensor::Tensor& batch, int index) {
+  if (batch.rank() != 4 || batch.dim(1) != 1) {
+    throw std::invalid_argument("from_batch_tensor: [N, 1, H, W] required");
+  }
+  if (index < 0 || index >= batch.dim(0)) {
+    throw std::out_of_range("from_batch_tensor: index out of range");
+  }
+  const int h = batch.dim(2), w = batch.dim(3);
+  Image img(w, h);
+  const std::size_t stride = static_cast<std::size_t>(w) * h;
+  const float* src = batch.data() + static_cast<std::size_t>(index) * stride;
+  std::copy(src, src + stride, img.pixels().begin());
+  return img;
+}
+
+void write_pgm(const std::string& path, const Image& image) {
+  if (image.empty()) throw std::invalid_argument("write_pgm: empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  for (float p : image.pixels()) {
+    const auto v = static_cast<std::uint8_t>(
+        std::clamp(p, 0.0f, 1.0f) * 255.0f + 0.5f);
+    out.put(static_cast<char>(v));
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+std::string to_ascii(const Image& image, int max_width) {
+  static constexpr std::string_view ramp = " .:-=+*#%@";
+  const int w = std::min(max_width, image.width());
+  const Image scaled =
+      (w == image.width())
+          ? image
+          : resize_nearest(image, w, std::max(1, image.height() * w /
+                                                     image.width()));
+  std::string out;
+  // Terminal cells are ~2x taller than wide; skip every other row.
+  for (int y = 0; y < scaled.height(); y += 2) {
+    for (int x = 0; x < scaled.width(); ++x) {
+      const float v = std::clamp(scaled.at(x, y), 0.0f, 1.0f);
+      out += ramp[static_cast<std::size_t>(v * (ramp.size() - 1) + 0.5f)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace darnet::vision

@@ -1,0 +1,72 @@
+// Grayscale image type plus the resize / IO primitives the privacy pipeline
+// needs (nearest-neighbour down-sampling is the paper's distortion filter).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace darnet::vision {
+
+/// Row-major grayscale image with intensities in [0, 1].
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+  [[nodiscard]] float& at(int x, int y);
+  [[nodiscard]] float at(int x, int y) const;
+
+  /// Clamped read: out-of-bounds coordinates return 0.
+  [[nodiscard]] float sample(int x, int y) const noexcept;
+
+  /// Blend `value` over the pixel with opacity `alpha` (bounds-checked,
+  /// silently ignores out-of-range coordinates -- drawing primitives clip).
+  void blend(int x, int y, float value, float alpha = 1.0f) noexcept;
+
+  [[nodiscard]] std::span<float> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::span<const float> pixels() const noexcept {
+    return pixels_;
+  }
+
+  /// Clamp every pixel into [0, 1].
+  void clamp();
+
+ private:
+  int width_{0};
+  int height_{0};
+  std::vector<float> pixels_;
+};
+
+/// Nearest-neighbour resampling (both down- and up-scaling), as used by the
+/// paper's distortion module.
+[[nodiscard]] Image resize_nearest(const Image& src, int new_width,
+                                   int new_height);
+
+/// Box-average down-sampling: each destination pixel is the mean of its
+/// source box. The alternative distortion kernel evaluated against the
+/// paper's nearest-neighbour choice in bench_ablation_distortion
+/// (averaging preserves more low-frequency content per transmitted byte).
+/// Requires new dimensions <= source dimensions.
+[[nodiscard]] Image resize_box_average(const Image& src, int new_width,
+                                       int new_height);
+
+/// Pack a batch of equally-sized images as an NCHW tensor [N, 1, H, W].
+[[nodiscard]] tensor::Tensor to_batch_tensor(std::span<const Image> images);
+
+/// Extract image `index` from a [N, 1, H, W] tensor.
+[[nodiscard]] Image from_batch_tensor(const tensor::Tensor& batch, int index);
+
+/// Write a binary 8-bit PGM (for Figure 4's distortion examples).
+void write_pgm(const std::string& path, const Image& image);
+
+/// Coarse ASCII rendering for terminal previews.
+[[nodiscard]] std::string to_ascii(const Image& image, int max_width = 48);
+
+}  // namespace darnet::vision

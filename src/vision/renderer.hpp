@@ -1,0 +1,66 @@
+// Synthetic driver-scene renderer.
+//
+// Data-gate substitution (DESIGN.md): the paper's two datasets are private
+// (5-driver, 6-class dashcam footage; and a 10-driver, 18-class GoPro set),
+// so frames are synthesised from a parametric cabin model -- steering
+// wheel, torso, head, two arms, and class-specific props (phone, cup) --
+// with randomized pose, lighting and sensor noise. The class structure is
+// tuned to reproduce the paper's confusability pattern: texting / talking /
+// normal driving are visually ambiguous (the phone is small and often
+// occluded, and "normal" includes a resting hand off the wheel), while
+// eating, hair/makeup and reaching are visually distinctive.
+#pragma once
+
+#include "util/rng.hpp"
+#include "vision/image.hpp"
+
+namespace darnet::vision {
+
+/// The six behaviour classes of Table 1, in paper order (0-based).
+enum class DriverClass {
+  kNormal = 0,
+  kTalking = 1,
+  kTexting = 2,
+  kEating = 3,
+  kHairMakeup = 4,
+  kReaching = 5,
+};
+inline constexpr int kDriverClassCount = 6;
+
+[[nodiscard]] const char* driver_class_name(DriverClass c) noexcept;
+
+/// Number of classes in the second (privacy-evaluation) dataset of §5.3.
+inline constexpr int kFineClassCount = 18;
+
+struct RenderConfig {
+  int size = 48;                  // rendered frame edge (stands in for 300)
+  double pose_noise = 1.7;        // scales head/arm jitter
+  double lighting_min = 0.55;     // "varying degrees of lighting" (§5.1)
+  double lighting_max = 1.25;
+  double pixel_noise = 0.13;      // additive sensor noise stddev
+  double prop_visibility = 0.12;  // chance the phone/cup is actually visible
+  double ambiguous_pose_rate = 0.75;  // normal frames with a hand off-wheel
+
+  // Per-driver style (core::DriverStyle writes these): systematic seating
+  // offset, body size, and lighting preference of one driver.
+  double head_dx = 0.0;
+  double head_dy = 0.0;
+  double body_scale = 1.0;
+  double lighting_bias = 0.0;
+};
+
+/// Render one frame of the 6-class dataset.
+[[nodiscard]] Image render_driver_scene(DriverClass cls,
+                                        const RenderConfig& config,
+                                        util::Rng& rng);
+
+/// Render one frame of the 18-class fine-grained dataset (§5.3): the same
+/// cabin with the free hand at one of 18 pose stations (9 angular
+/// positions around the torso x 2 arm extensions). Fine spatial detail is
+/// exactly what aggressive down-sampling destroys, which drives the
+/// dCNN-H accuracy collapse in Table 3.
+[[nodiscard]] Image render_fine_scene(int fine_class,
+                                      const RenderConfig& config,
+                                      util::Rng& rng);
+
+}  // namespace darnet::vision

@@ -1,0 +1,174 @@
+// Unit tests for the Bayesian-network ensemble combiner.
+#include <gtest/gtest.h>
+
+#include "bayes/combiner.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using darnet::bayes::BayesianCombiner;
+using darnet::bayes::ClassMap;
+using darnet::bayes::FusionRule;
+using darnet::tensor::Tensor;
+
+Tensor one_hotish(std::initializer_list<std::pair<int, float>> rows, int c) {
+  Tensor t({static_cast<int>(rows.size()), c});
+  int i = 0;
+  for (const auto& [cls, conf] : rows) {
+    const float rest = (1.0f - conf) / static_cast<float>(c - 1);
+    for (int j = 0; j < c; ++j) t.at(i, j) = (j == cls) ? conf : rest;
+    ++i;
+  }
+  return t;
+}
+
+TEST(ClassMap, DarnetDefaultMapsNonPhoneClassesToNormal) {
+  const ClassMap map = ClassMap::darnet_default();
+  EXPECT_EQ(map.image_classes(), 6);
+  EXPECT_EQ(map.imu_classes(), 3);
+  EXPECT_EQ(map.map(0), 0);  // normal -> normal
+  EXPECT_EQ(map.map(1), 1);  // talking -> talking
+  EXPECT_EQ(map.map(2), 2);  // texting -> texting
+  EXPECT_EQ(map.map(3), 0);  // eating -> normal
+  EXPECT_EQ(map.map(4), 0);  // hair/makeup -> normal
+  EXPECT_EQ(map.map(5), 0);  // reaching -> normal
+}
+
+TEST(ClassMap, ValidatesArguments) {
+  EXPECT_THROW(ClassMap({0, 3}, 3), std::invalid_argument);
+  EXPECT_THROW(ClassMap({}, 3), std::invalid_argument);
+  const ClassMap map({0, 1}, 2);
+  EXPECT_THROW((void)map.map(5), std::out_of_range);
+}
+
+TEST(BayesianCombiner, CombineBeforeFitThrows) {
+  BayesianCombiner combiner(ClassMap::darnet_default());
+  EXPECT_THROW((void)combiner.combine(Tensor({1, 6}), Tensor({1, 3})),
+               std::logic_error);
+}
+
+TEST(BayesianCombiner, CptsReflectTruePositiveCounts) {
+  // Toy 2-class / 2-class identity-mapped setting where the models are
+  // always confident and always right -> P(y | a=1, b=1) must be high and
+  // P(y | a=0, b=0) low.
+  const ClassMap map({0, 1}, 2);
+  BayesianCombiner combiner(map, /*laplace_alpha=*/0.5);
+  Tensor p_img = one_hotish({{0, 0.9f}, {1, 0.9f}, {0, 0.9f}, {1, 0.9f}}, 2);
+  Tensor p_imu = one_hotish({{0, 0.8f}, {1, 0.8f}, {0, 0.8f}, {1, 0.8f}}, 2);
+  const std::vector<int> labels{0, 1, 0, 1};
+  combiner.fit(p_img, p_imu, labels);
+
+  EXPECT_GT(combiner.cpt(0, true, true), 0.5);
+  EXPECT_LT(combiner.cpt(0, false, false), 0.3);
+  EXPECT_GT(combiner.cpt(1, true, true), 0.5);
+}
+
+TEST(BayesianCombiner, OutputIsNormalisedDistribution) {
+  BayesianCombiner combiner(ClassMap::darnet_default());
+  darnet::util::Rng rng(3);
+  const int n = 50;
+  Tensor p_img({n, 6}), p_imu({n, 3});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = static_cast<int>(rng.uniform_index(6));
+    float sum6 = 0, sum3 = 0;
+    for (int c = 0; c < 6; ++c) sum6 += p_img.at(i, c) = static_cast<float>(rng.uniform(0.01, 1.0));
+    for (int c = 0; c < 3; ++c) sum3 += p_imu.at(i, c) = static_cast<float>(rng.uniform(0.01, 1.0));
+    for (int c = 0; c < 6; ++c) p_img.at(i, c) /= sum6;
+    for (int c = 0; c < 3; ++c) p_imu.at(i, c) /= sum3;
+  }
+  combiner.fit(p_img, p_imu, labels);
+  const Tensor fused = combiner.combine(p_img, p_imu);
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_GE(fused.at(i, c), 0.0f);
+      row += fused.at(i, c);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-4);
+  }
+}
+
+TEST(BayesianCombiner, ImuEvidenceDisambiguatesVisuallyConfusedClasses) {
+  // The headline mechanism of the paper: the CNN cannot tell texting (2)
+  // from normal (0), but the IMU can. Fit on data where the IMU verdict is
+  // reliable; a texting-IMU verdict must then tip a visual tie to texting.
+  BayesianCombiner combiner(ClassMap::darnet_default());
+  darnet::util::Rng rng(4);
+  const int n = 400;
+  Tensor p_img({n, 6}), p_imu({n, 3});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const int y = (i % 2 == 0) ? 0 : 2;  // normal or texting
+    labels[static_cast<std::size_t>(i)] = y;
+    // CNN: a coin-flip between classes 0 and 2.
+    const bool cnn_says_0 = rng.chance(0.5);
+    for (int c = 0; c < 6; ++c) p_img.at(i, c) = 0.02f;
+    p_img.at(i, cnn_says_0 ? 0 : 2) = 0.9f;
+    // IMU: 95% reliable.
+    const int imu_verdict = rng.chance(0.95) ? (y == 2 ? 2 : 0)
+                                             : (y == 2 ? 0 : 2);
+    for (int c = 0; c < 3; ++c) p_imu.at(i, c) = 0.05f;
+    p_imu.at(i, imu_verdict) = 0.9f;
+  }
+  combiner.fit(p_img, p_imu, labels);
+
+  int correct = 0;
+  const auto preds = combiner.predict(p_img, p_imu);
+  for (int i = 0; i < n; ++i) {
+    if (preds[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  // The CNN alone would get ~50% on this stream; the fused model must
+  // recover most of the IMU's 95%.
+  EXPECT_GT(static_cast<double>(correct) / n, 0.85);
+}
+
+TEST(BayesianCombiner, SerializationRoundTrip) {
+  BayesianCombiner combiner(ClassMap::darnet_default(), 2.0);
+  Tensor p_img = one_hotish({{0, 0.9f}, {2, 0.8f}}, 6);
+  Tensor p_imu = one_hotish({{0, 0.7f}, {2, 0.9f}}, 3);
+  const std::vector<int> labels{0, 2};
+  combiner.fit(p_img, p_imu, labels);
+
+  darnet::util::BinaryWriter w;
+  combiner.serialize(w);
+  darnet::util::BinaryReader r(w.bytes());
+  const BayesianCombiner restored = BayesianCombiner::deserialize(r);
+  EXPECT_TRUE(restored.trained());
+  for (int c = 0; c < 6; ++c) {
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        EXPECT_DOUBLE_EQ(combiner.cpt(c, a, b), restored.cpt(c, a, b));
+      }
+    }
+  }
+}
+
+TEST(Fuse, RulesProduceNormalisedOutput) {
+  const ClassMap map = ClassMap::darnet_default();
+  Tensor p_img = one_hotish({{1, 0.7f}, {4, 0.6f}}, 6);
+  Tensor p_imu = one_hotish({{1, 0.8f}, {0, 0.9f}}, 3);
+  for (auto rule :
+       {FusionRule::kMean, FusionRule::kProduct, FusionRule::kMax}) {
+    const Tensor fused = darnet::bayes::fuse(rule, map, p_img, p_imu);
+    for (int i = 0; i < 2; ++i) {
+      double row = 0.0;
+      for (int c = 0; c < 6; ++c) row += fused.at(i, c);
+      EXPECT_NEAR(row, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(Fuse, ProductRuleAmplifiesAgreement) {
+  const ClassMap map({0, 1}, 2);
+  Tensor p_img = one_hotish({{0, 0.6f}}, 2);
+  Tensor p_imu = one_hotish({{0, 0.6f}}, 2);
+  const Tensor fused =
+      darnet::bayes::fuse(FusionRule::kProduct, map, p_img, p_imu);
+  EXPECT_GT(fused.at(0, 0), 0.6f);  // 0.36 / (0.36 + 0.16) = 0.69
+}
+
+}  // namespace

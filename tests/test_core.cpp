@@ -1,0 +1,173 @@
+// Tests for the core module: dataset assembly (Table 1 proportions),
+// splits, the DarNet facade, and session scripting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/darnet.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+using namespace darnet;
+using tensor::Tensor;
+
+TEST(Dataset, ScaledCountsPreservePaperProportions) {
+  const auto counts = core::scaled_counts(1.0);
+  EXPECT_EQ(counts, core::kPaperFrameCounts);
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  EXPECT_EQ(total, core::kPaperTotalFrames);
+
+  const auto small = core::scaled_counts(0.01);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_NEAR(small[i], core::kPaperFrameCounts[i] * 0.01, 1.0);
+  }
+  EXPECT_THROW((void)core::scaled_counts(0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::scaled_counts(1.5), std::invalid_argument);
+}
+
+TEST(Dataset, GenerationPairsModalitiesConsistently) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.004;
+  const core::Dataset data = core::generate_dataset(cfg);
+  ASSERT_GT(data.size(), 100);
+  EXPECT_EQ(data.frames.dim(0), data.size());
+  EXPECT_EQ(data.imu_windows.dim(0), data.size());
+  EXPECT_EQ(data.imu_windows.dim(1), imu::kWindowSteps);
+  EXPECT_EQ(data.imu_windows.dim(2), imu::kImuChannels);
+
+  // Table 1's class->IMU mapping: only talking (1) and texting (2) carry
+  // their own IMU class; everything else is IMU-normal.
+  for (int i = 0; i < data.size(); ++i) {
+    const int img = data.labels[static_cast<std::size_t>(i)];
+    const int imu_cls = data.imu_labels[static_cast<std::size_t>(i)];
+    if (img == 1) {
+      EXPECT_EQ(imu_cls, 1);
+    } else if (img == 2) {
+      EXPECT_EQ(imu_cls, 2);
+    } else {
+      EXPECT_EQ(imu_cls, 0);
+    }
+  }
+}
+
+TEST(Dataset, GenerationIsDeterministicPerSeed) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.002;
+  const core::Dataset a = core::generate_dataset(cfg);
+  const core::Dataset b = core::generate_dataset(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.frames.numel(); i += 97) {
+    ASSERT_EQ(a.frames[i], b.frames[i]);
+  }
+}
+
+TEST(Dataset, SplitPartitionsWithoutOverlapOrLoss) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.003;
+  const core::Dataset data = core::generate_dataset(cfg);
+  const auto split = core::split_dataset(data, 0.8, 5);
+  EXPECT_EQ(split.train.size() + split.eval.size(), data.size());
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / data.size(), 0.8,
+              0.02);
+  // Class totals must be conserved across the split.
+  std::array<int, 6> before{}, after{};
+  for (int y : data.labels) ++before[static_cast<std::size_t>(y)];
+  for (int y : split.train.labels) ++after[static_cast<std::size_t>(y)];
+  for (int y : split.eval.labels) ++after[static_cast<std::size_t>(y)];
+  EXPECT_EQ(before, after);
+  EXPECT_THROW((void)core::split_dataset(data, 1.0, 5),
+               std::invalid_argument);
+}
+
+TEST(Dataset, FineDatasetCoversEighteenClasses) {
+  vision::RenderConfig render;
+  const core::FineDataset fine = core::generate_fine_dataset(3, render, 9);
+  EXPECT_EQ(fine.frames.dim(0), 54);
+  std::array<int, 18> counts{};
+  for (int y : fine.labels) ++counts[static_cast<std::size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(Dataset, OrientationForMatchesTable1Semantics) {
+  util::Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    EXPECT_EQ(imu::imu_class_of(core::orientation_for(
+                  vision::DriverClass::kTalking, rng)),
+              imu::ImuClass::kTalking);
+    EXPECT_EQ(imu::imu_class_of(core::orientation_for(
+                  vision::DriverClass::kReaching, rng)),
+              imu::ImuClass::kNormal);
+  }
+}
+
+TEST(DarNet, GuardsAgainstUseBeforeTraining) {
+  core::DarNet darnet{core::DarNetConfig{}};
+  EXPECT_FALSE(darnet.trained());
+  core::DatasetConfig cfg;
+  cfg.scale = 0.002;
+  const core::Dataset data = core::generate_dataset(cfg);
+  EXPECT_THROW((void)darnet.evaluate(data, engine::ArchitectureKind::kCnnRnn),
+               std::logic_error);
+  EXPECT_THROW(
+      (void)darnet.classify(data.frames, data.imu_windows,
+                            engine::ArchitectureKind::kCnnOnly),
+      std::logic_error);
+}
+
+TEST(DarNet, TrainThenEvaluateEndToEnd) {
+  // Smoke-scale end-to-end training: must produce normalised distributions
+  // and beat chance (1/6) by a clear margin on every architecture.
+  core::DatasetConfig data_cfg;
+  data_cfg.scale = 0.008;
+  const core::Dataset data = core::generate_dataset(data_cfg);
+  const auto split = core::split_dataset(data, 0.8, 3);
+
+  core::DarNetConfig cfg;
+  cfg.cnn_epochs = 5;
+  cfg.rnn_epochs = 3;
+  core::DarNet darnet{cfg};
+  const auto report = darnet.train(split.train);
+  EXPECT_TRUE(darnet.trained());
+  EXPECT_GT(report.train_seconds, 0.0);
+
+  // At this smoke scale the CNN is deliberately undertrained; it must
+  // still beat chance (1/6) and the IMU-backed ensembles must beat it by
+  // a wide margin (the paper's central claim).
+  const double cnn_acc =
+      darnet.evaluate(split.eval, engine::ArchitectureKind::kCnnOnly)
+          .accuracy();
+  EXPECT_GT(cnn_acc, 0.22);
+  for (auto kind : {engine::ArchitectureKind::kCnnSvm,
+                    engine::ArchitectureKind::kCnnRnn}) {
+    const auto cm = darnet.evaluate(split.eval, kind);
+    EXPECT_GT(cm.accuracy(), 0.45) << engine::architecture_name(kind);
+  }
+
+  const Tensor p = darnet.classify(split.eval.frames, split.eval.imu_windows,
+                                   engine::ArchitectureKind::kCnnRnn);
+  for (int i = 0; i < p.dim(0); ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 6; ++c) sum += p.at(i, c);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(SessionScript, BehaviourLookupAndDuration) {
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kNormal, 10.0},
+                     {vision::DriverClass::kTexting, 5.0}};
+  EXPECT_DOUBLE_EQ(script.total_duration(), 15.0);
+  EXPECT_EQ(script.behaviour_at(3.0), vision::DriverClass::kNormal);
+  EXPECT_EQ(script.behaviour_at(12.0), vision::DriverClass::kTexting);
+  EXPECT_EQ(script.behaviour_at(99.0), vision::DriverClass::kTexting);
+}
+
+TEST(SessionScript, PaperScriptCoversAllClassesPerRepeat) {
+  const auto script = core::SessionScript::paper_script(2, 15.0);
+  EXPECT_EQ(script.segments.size(), 12u);
+  EXPECT_DOUBLE_EQ(script.total_duration(), 180.0);
+  EXPECT_EQ(script.segments[6].behaviour, vision::DriverClass::kNormal);
+}
+
+}  // namespace

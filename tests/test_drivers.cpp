@@ -1,0 +1,124 @@
+// Tests for per-driver heterogeneity and the leave-one-driver-out split.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/dataset.hpp"
+
+namespace {
+
+using namespace darnet;
+
+TEST(DriverStyle, SampledStylesDiffer) {
+  util::Rng rng(1);
+  const auto a = core::DriverStyle::sample(rng);
+  const auto b = core::DriverStyle::sample(rng);
+  EXPECT_NE(a.head_dx, b.head_dx);
+  EXPECT_NE(a.tremor_scale, b.tremor_scale);
+}
+
+TEST(DriverStyle, NeutralIsIdentity) {
+  const auto neutral = core::DriverStyle::neutral();
+  vision::RenderConfig render;
+  const auto applied = neutral.applied_to(render);
+  EXPECT_EQ(applied.head_dx, 0.0);
+  EXPECT_EQ(applied.body_scale, 1.0);
+  imu::ImuGenConfig gen;
+  const auto gen_applied = neutral.applied_to(gen);
+  EXPECT_EQ(gen_applied.tremor_scale, 1.0);
+}
+
+TEST(DriverStyle, AppliedConfigsCarryStyle) {
+  util::Rng rng(2);
+  const auto style = core::DriverStyle::sample(rng);
+  vision::RenderConfig render;
+  const auto applied = style.applied_to(render);
+  EXPECT_EQ(applied.head_dx, style.head_dx);
+  EXPECT_EQ(applied.lighting_bias, style.lighting_bias);
+  // Untouched fields survive.
+  EXPECT_EQ(applied.size, render.size);
+  EXPECT_EQ(applied.prop_visibility, render.prop_visibility);
+}
+
+TEST(DriverStyle, StylesShiftRenderedScenes) {
+  // Two drivers with different seating must produce systematically
+  // different mean images for the same class.
+  util::Rng style_rng(3);
+  const auto style_a = core::DriverStyle::sample(style_rng);
+  const auto style_b = core::DriverStyle::sample(style_rng);
+  vision::RenderConfig base;
+  base.pixel_noise = 0.0;
+
+  auto mean_image = [&](const core::DriverStyle& style) {
+    util::Rng rng(55);  // same scene noise stream for both drivers
+    const auto cfg = style.applied_to(base);
+    std::vector<double> acc(static_cast<std::size_t>(base.size) * base.size);
+    for (int rep = 0; rep < 16; ++rep) {
+      const auto img = vision::render_driver_scene(
+          vision::DriverClass::kNormal, cfg, rng);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += img.pixels()[i];
+    }
+    return acc;
+  };
+  const auto ma = mean_image(style_a);
+  const auto mb = mean_image(style_b);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    diff += std::abs(ma[i] - mb[i]);
+  }
+  EXPECT_GT(diff / ma.size(), 0.005);
+}
+
+TEST(Dataset, DriverIdsCoverConfiguredCount) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.003;
+  cfg.num_drivers = 4;
+  const auto data = core::generate_dataset(cfg);
+  ASSERT_EQ(data.driver_ids.size(), static_cast<std::size_t>(data.size()));
+  std::set<int> drivers(data.driver_ids.begin(), data.driver_ids.end());
+  EXPECT_EQ(drivers.size(), 4u);
+  for (int d : drivers) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 4);
+  }
+}
+
+TEST(Dataset, SingleDriverIsNeutral) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.002;
+  cfg.num_drivers = 1;
+  const auto data = core::generate_dataset(cfg);
+  for (int d : data.driver_ids) EXPECT_EQ(d, 0);
+}
+
+TEST(Dataset, LeaveOneDriverOutPartitionsByDriver) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.004;
+  cfg.num_drivers = 3;
+  const auto data = core::generate_dataset(cfg);
+  const auto split = core::split_leave_one_driver_out(data, 1);
+  EXPECT_EQ(split.train.size() + split.eval.size(), data.size());
+  for (int d : split.eval.driver_ids) EXPECT_EQ(d, 1);
+  for (int d : split.train.driver_ids) EXPECT_NE(d, 1);
+  EXPECT_THROW((void)core::split_leave_one_driver_out(data, 9),
+               std::invalid_argument);
+}
+
+TEST(Dataset, EveryDriverActsEveryClass) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.004;
+  cfg.num_drivers = 3;
+  const auto data = core::generate_dataset(cfg);
+  // counts[driver][class] > 0 for all combinations.
+  long counts[3][6] = {};
+  for (int i = 0; i < data.size(); ++i) {
+    ++counts[data.driver_ids[static_cast<std::size_t>(i)]]
+            [data.labels[static_cast<std::size_t>(i)]];
+  }
+  for (auto& per_driver : counts) {
+    for (long c : per_driver) EXPECT_GT(c, 0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Cross-module integration tests: the full streaming pipeline (agents ->
+// links -> controller -> store -> engine) exercised end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+
+namespace {
+
+using namespace darnet;
+
+core::PipelineConfig fast_pipeline_config() {
+  core::PipelineConfig cfg;
+  // Keep the camera cheap for tests: small frames at a low rate.
+  cfg.render.size = 16;
+  cfg.camera_period_s = 0.5;
+  return cfg;
+}
+
+TEST(Pipeline, CollectsAllStreamsThroughTheMiddleware) {
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kNormal, 8.0},
+                     {vision::DriverClass::kTexting, 8.0}};
+  core::StreamingPipeline pipeline(script, fast_pipeline_config());
+  const auto results = pipeline.run(nullptr);  // collection only
+  EXPECT_TRUE(results.empty());
+
+  const auto& store = pipeline.controller().store();
+  // 4 IMU streams at 25 ms for 16 s -> ~640 tuples each; camera at 0.5 s.
+  for (const auto& stream : core::StreamingPipeline::imu_streams()) {
+    EXPECT_NEAR(static_cast<double>(store.count(stream)), 640.0, 40.0)
+        << stream;
+  }
+  EXPECT_NEAR(static_cast<double>(store.count("camera")), 32.0, 4.0);
+  EXPECT_GT(pipeline.controller().batches_received(), 50u);
+}
+
+TEST(Pipeline, ClockSyncKeepsPhoneTimestampsAligned) {
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kNormal, 20.0}};
+  auto cfg = fast_pipeline_config();
+  cfg.phone_drift_ppm = 2000.0;  // strong drift
+  core::StreamingPipeline pipeline(script, cfg);
+  (void)pipeline.run(nullptr);
+  // With 5 s sync and latency compensation, residual error stays bounded
+  // well below the uncompensated 20 s * 2 ms/s = 40 ms.
+  EXPECT_LT(std::abs(pipeline.phone_clock_error()), 0.015);
+}
+
+TEST(Pipeline, AlignedWindowsHaveFullImuWidth) {
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kTalking, 12.0}};
+  core::StreamingPipeline pipeline(script, fast_pipeline_config());
+  (void)pipeline.run(nullptr);
+  const auto rows = pipeline.controller().aligned_window(
+      core::StreamingPipeline::imu_streams(), 2.0, 10.0);
+  ASSERT_GT(rows.size(), 20u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), static_cast<std::size_t>(imu::kImuChannels));
+  }
+}
+
+TEST(Pipeline, StreamingClassificationEmitsPerTimestepResults) {
+  // Train a tiny model, then classify a short scripted session live.
+  core::DatasetConfig data_cfg;
+  data_cfg.scale = 0.006;
+  data_cfg.render.size = 16;
+  const core::Dataset data = core::generate_dataset(data_cfg);
+
+  core::DarNetConfig model_cfg;
+  model_cfg.cnn.input_size = 16;
+  model_cfg.cnn_epochs = 3;
+  model_cfg.rnn_epochs = 3;
+  core::DarNet darnet{model_cfg};
+  darnet.train(data);
+
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kTalking, 10.0},
+                     {vision::DriverClass::kTexting, 10.0}};
+  core::StreamingPipeline pipeline(script, fast_pipeline_config());
+  const auto results =
+      pipeline.run(&darnet, engine::ArchitectureKind::kCnnRnn);
+
+  ASSERT_GT(results.size(), 5u);
+  for (const auto& r : results) {
+    EXPECT_GE(r.predicted, 0);
+    EXPECT_LT(r.predicted, 6);
+    EXPECT_EQ(r.actual,
+              static_cast<int>(script.behaviour_at(r.time)));
+    double sum = 0.0;
+    for (int c = 0; c < 6; ++c) sum += r.distribution.at(0, c);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Pipeline, LinkStatsAccountForTraffic) {
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kNormal, 5.0}};
+  core::StreamingPipeline pipeline(script, fast_pipeline_config());
+  (void)pipeline.run(nullptr);
+  // The camera ships 16x16 floats; the phone ships 13 floats per 25 ms.
+  EXPECT_GT(pipeline.camera_link_stats().bytes_sent, 8000u);
+  EXPECT_GT(pipeline.phone_link_stats().bytes_sent, 8000u);
+  EXPECT_GT(pipeline.camera_link_stats().mean_latency_s(), 0.0);
+}
+
+TEST(Pipeline, RejectsEmptyScriptAndUntrainedModel) {
+  EXPECT_THROW(
+      core::StreamingPipeline(core::SessionScript{}, fast_pipeline_config()),
+      std::invalid_argument);
+
+  core::SessionScript script;
+  script.segments = {{vision::DriverClass::kNormal, 6.0}};
+  core::StreamingPipeline pipeline(script, fast_pipeline_config());
+  core::DarNetConfig model_cfg;
+  model_cfg.cnn.input_size = 16;
+  core::DarNet untrained{model_cfg};
+  EXPECT_THROW((void)pipeline.run(&untrained), std::logic_error);
+}
+
+}  // namespace

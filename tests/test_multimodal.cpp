@@ -1,0 +1,151 @@
+// Tests for the N-modality Bayesian combiner (the paper's "extensible to
+// adding more modalities" future-work feature).
+#include <gtest/gtest.h>
+
+#include "bayes/combiner.hpp"
+#include "bayes/multimodal.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace darnet;
+using bayes::ModalityMap;
+using bayes::MultiModalCombiner;
+using tensor::Tensor;
+
+Tensor confident(std::span<const int> classes, int c_total, float conf) {
+  Tensor t({static_cast<int>(classes.size()), c_total});
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const float rest = (1.0f - conf) / static_cast<float>(c_total - 1);
+    for (int c = 0; c < c_total; ++c) {
+      t.at(static_cast<int>(i), c) =
+          (c == classes[i]) ? conf : rest;
+    }
+  }
+  return t;
+}
+
+TEST(MultiModal, ValidatesConstruction) {
+  EXPECT_THROW(MultiModalCombiner(6, {}), std::invalid_argument);
+  EXPECT_THROW(MultiModalCombiner(
+                   6, {ModalityMap{{0, 1, 2, 0, 0}, 3}}),  // wrong length
+               std::invalid_argument);
+  EXPECT_THROW(MultiModalCombiner(
+                   6, {ModalityMap{{0, 1, 5, 0, 0, 0}, 3}}),  // target oob
+               std::invalid_argument);
+}
+
+TEST(MultiModal, IdentityMapCoversAllClasses) {
+  const auto map = MultiModalCombiner::identity_map(4);
+  EXPECT_EQ(map.modality_classes, 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(map.image_to_modality[static_cast<std::size_t>(c)], c);
+  }
+}
+
+TEST(MultiModal, CombineBeforeFitThrows) {
+  MultiModalCombiner combiner(3, {MultiModalCombiner::identity_map(3)});
+  const std::vector<Tensor> probs{Tensor({1, 3})};
+  EXPECT_THROW((void)combiner.combine(probs), std::logic_error);
+}
+
+TEST(MultiModal, TwoParentReducesToDeployedCombinerBehaviour) {
+  // Same data through the deployed 2-parent BayesianCombiner and the
+  // generalised combiner with M = 2: predictions must agree.
+  util::Rng rng(3);
+  const int n = 200;
+  Tensor p_img({n, 6}), p_imu({n, 3});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] =
+        static_cast<int>(rng.uniform_index(6));
+    float s6 = 0, s3 = 0;
+    for (int c = 0; c < 6; ++c) {
+      s6 += p_img.at(i, c) = static_cast<float>(rng.uniform(0.01, 1.0));
+    }
+    for (int c = 0; c < 3; ++c) {
+      s3 += p_imu.at(i, c) = static_cast<float>(rng.uniform(0.01, 1.0));
+    }
+    for (int c = 0; c < 6; ++c) p_img.at(i, c) /= s6;
+    for (int c = 0; c < 3; ++c) p_imu.at(i, c) /= s3;
+  }
+
+  bayes::BayesianCombiner deployed(bayes::ClassMap::darnet_default());
+  deployed.fit(p_img, p_imu, labels);
+
+  MultiModalCombiner general(
+      6, {MultiModalCombiner::identity_map(6),
+          ModalityMap{{0, 1, 2, 0, 0, 0}, 3}});
+  const std::vector<Tensor> probs{p_img, p_imu};
+  general.fit(probs, labels);
+
+  const auto a = deployed.predict(p_img, p_imu);
+  const auto b = general.predict(probs);
+  int agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  // Identical math up to floating-point accumulation order.
+  EXPECT_GT(static_cast<double>(agree) / a.size(), 0.99);
+}
+
+TEST(MultiModal, OutputIsNormalised) {
+  util::Rng rng(4);
+  const std::vector<int> y{0, 1, 2, 0, 1, 2, 1, 0};
+  const Tensor m0 = confident(y, 3, 0.8f);
+  const Tensor m1 = confident(y, 3, 0.6f);
+  MultiModalCombiner combiner(3, {MultiModalCombiner::identity_map(3),
+                                  MultiModalCombiner::identity_map(3)});
+  const std::vector<Tensor> probs{m0, m1};
+  combiner.fit(probs, y);
+  const Tensor fused = combiner.combine(probs);
+  for (int i = 0; i < fused.dim(0); ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(fused.at(i, c), 0.0f);
+      sum += fused.at(i, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(MultiModal, ThirdModalityResolvesResidualAmbiguity) {
+  // Modality A separates {0} vs {1,2}; modality B separates {0,1} vs {2};
+  // neither alone resolves class 1; together they must.
+  util::Rng rng(5);
+  const int n = 600;
+  Tensor a({n, 2}), b({n, 2});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const int y = i % 3;
+    labels[static_cast<std::size_t>(i)] = y;
+    const int a_class = (y == 0) ? 0 : 1;
+    const int b_class = (y == 2) ? 1 : 0;
+    const float ac = rng.chance(0.92) ? 0.9f : 0.1f;
+    const float bc = rng.chance(0.92) ? 0.9f : 0.1f;
+    a.at(i, a_class) = ac;
+    a.at(i, 1 - a_class) = 1.0f - ac;
+    b.at(i, b_class) = bc;
+    b.at(i, 1 - b_class) = 1.0f - bc;
+  }
+  MultiModalCombiner combiner(
+      3, {ModalityMap{{0, 1, 1}, 2}, ModalityMap{{0, 0, 1}, 2}});
+  const std::vector<Tensor> probs{a, b};
+  combiner.fit(probs, labels);
+  const auto preds = combiner.predict(probs);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  // Each binary modality alone caps out near 2/3; fused must be high.
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.8);
+}
+
+TEST(MultiModal, CptAccessorBoundsChecked) {
+  MultiModalCombiner combiner(3, {MultiModalCombiner::identity_map(3)});
+  EXPECT_THROW((void)combiner.cpt(0, 2), std::out_of_range);   // config >= 2
+  EXPECT_THROW((void)combiner.cpt(3, 0), std::out_of_range);   // class oob
+  EXPECT_DOUBLE_EQ(combiner.cpt(0, 0), 0.5);  // untrained prior
+}
+
+}  // namespace

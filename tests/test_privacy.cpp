@@ -1,0 +1,179 @@
+// Tests for the privacy pipeline: distortion geometry, bandwidth
+// accounting, reconstruction, distillation, and level routing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/architectures.hpp"
+#include "nn/loss.hpp"
+#include "privacy/privacy.hpp"
+#include "util/rng.hpp"
+#include "vision/renderer.hpp"
+
+namespace {
+
+using namespace darnet;
+using nn::Tensor;
+using privacy::DistortionLevel;
+
+TEST(Distortion, FactorsMatchPaperRatios) {
+  // 300 -> 100 / 50 / 25 in the paper = 3x / 6x / 12x linear reduction.
+  EXPECT_EQ(privacy::distortion_factor(DistortionLevel::kNone), 1);
+  EXPECT_EQ(privacy::distortion_factor(DistortionLevel::kLow), 3);
+  EXPECT_EQ(privacy::distortion_factor(DistortionLevel::kMedium), 6);
+  EXPECT_EQ(privacy::distortion_factor(DistortionLevel::kHigh), 12);
+  EXPECT_EQ(privacy::distorted_size(DistortionLevel::kLow, 48), 16);
+  EXPECT_EQ(privacy::distorted_size(DistortionLevel::kMedium, 48), 8);
+  EXPECT_EQ(privacy::distorted_size(DistortionLevel::kHigh, 48), 4);
+  EXPECT_THROW((void)privacy::distorted_size(DistortionLevel::kHigh, 8),
+               std::invalid_argument);
+}
+
+TEST(Distortion, ModuleDownsamplesAndTags) {
+  util::Rng rng(1);
+  const vision::Image frame =
+      vision::render_driver_scene(vision::DriverClass::kTexting, {}, rng);
+  privacy::DistortionModule module(DistortionLevel::kMedium);
+  const privacy::TaggedFrame tagged = module.process(frame);
+  EXPECT_EQ(tagged.level, DistortionLevel::kMedium);
+  EXPECT_EQ(tagged.image.width(), 8);
+  EXPECT_EQ(tagged.image.height(), 8);
+}
+
+TEST(Distortion, WireBytesShrinkByExpectedRatios) {
+  util::Rng rng(2);
+  const vision::Image frame =
+      vision::render_driver_scene(vision::DriverClass::kNormal, {}, rng);
+  const auto none =
+      privacy::wire_bytes(privacy::DistortionModule(DistortionLevel::kNone)
+                              .process(frame));
+  const auto low =
+      privacy::wire_bytes(privacy::DistortionModule(DistortionLevel::kLow)
+                              .process(frame));
+  const auto high =
+      privacy::wire_bytes(privacy::DistortionModule(DistortionLevel::kHigh)
+                              .process(frame));
+  // Ratios on the pixel payload: ~9x for low, ~144x for high.
+  EXPECT_NEAR(static_cast<double>(none - 1) / (low - 1), 9.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(none - 1) / (high - 1), 144.0, 0.1);
+}
+
+TEST(Distortion, ReconstructRestoresModelInputSize) {
+  util::Rng rng(3);
+  const vision::Image frame =
+      vision::render_driver_scene(vision::DriverClass::kEating, {}, rng);
+  privacy::DistortionModule module(DistortionLevel::kHigh);
+  const vision::Image rebuilt =
+      privacy::reconstruct(module.process(frame), 48);
+  EXPECT_EQ(rebuilt.width(), 48);
+  // Only 16 distinct values can survive a 4x4 bottleneck.
+  std::set<float> distinct(rebuilt.pixels().begin(), rebuilt.pixels().end());
+  EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(Distortion, BatchApplicationMatchesPerImagePath) {
+  util::Rng rng(4);
+  const vision::Image frame =
+      vision::render_driver_scene(vision::DriverClass::kTalking, {}, rng);
+  const vision::Image batch_src[] = {frame};
+  const auto batch = vision::to_batch_tensor(batch_src);
+  const auto distorted =
+      privacy::apply_distortion(batch, DistortionLevel::kMedium);
+  const vision::Image expected = privacy::reconstruct(
+      privacy::DistortionModule(DistortionLevel::kMedium).process(frame), 48);
+  const vision::Image actual = vision::from_batch_tensor(distorted, 0);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      ASSERT_EQ(actual.at(x, y), expected.at(x, y));
+    }
+  }
+}
+
+TEST(Distortion, InformationLossIsMonotoneInLevel) {
+  // L2 distance between the original and its distort->reconstruct version
+  // must grow with the distortion level.
+  util::Rng rng(5);
+  const vision::Image frame =
+      vision::render_driver_scene(vision::DriverClass::kHairMakeup, {}, rng);
+  auto loss = [&frame](DistortionLevel level) {
+    const vision::Image rebuilt = privacy::reconstruct(
+        privacy::DistortionModule(level).process(frame), frame.width());
+    double acc = 0.0;
+    for (int y = 0; y < frame.height(); ++y) {
+      for (int x = 0; x < frame.width(); ++x) {
+        const double d = frame.at(x, y) - rebuilt.at(x, y);
+        acc += d * d;
+      }
+    }
+    return acc;
+  };
+  const double none = loss(DistortionLevel::kNone);
+  const double low = loss(DistortionLevel::kLow);
+  const double medium = loss(DistortionLevel::kMedium);
+  const double high = loss(DistortionLevel::kHigh);
+  EXPECT_EQ(none, 0.0);
+  EXPECT_LT(low, medium);
+  EXPECT_LT(medium, high);
+}
+
+TEST(Distillation, StudentConvergesTowardTeacherOutputs) {
+  // A tiny teacher/student pair: distillation must reduce the student-
+  // teacher output gap on clean data (kNone level isolates the objective).
+  util::Rng rng(6);
+  engine::FrameCnnConfig cfg;
+  cfg.input_size = 16;
+  cfg.num_classes = 4;
+  cfg.seed = 1;
+  nn::Sequential teacher = engine::build_frame_cnn(cfg);
+  cfg.seed = 2;
+  nn::Sequential student = engine::build_frame_cnn(cfg);
+
+  Tensor frames = Tensor::uniform({24, 1, 16, 16}, 0.5f, rng);
+  for (auto& v : frames.flat()) v += 0.5f;  // into [0,1]
+
+  const Tensor t_out = nn::predict_logits(teacher, frames);
+  const Tensor s_before = nn::predict_logits(student, frames);
+  const double gap_before = nn::l2_distillation(s_before, t_out).loss;
+
+  nn::Sgd opt(0.02, 0.9);
+  nn::TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 8;
+  privacy::distill_dcnn(student, teacher, frames, DistortionLevel::kNone,
+                        opt, tc);
+  const Tensor s_after = nn::predict_logits(student, frames);
+  const double gap_after = nn::l2_distillation(s_after, t_out).loss;
+  EXPECT_LT(gap_after, gap_before * 0.5);
+}
+
+TEST(Router, RoutesByTagAndRejectsUnknownLevels) {
+  util::Rng rng(7);
+  engine::FrameCnnConfig cfg;
+  cfg.input_size = 16;
+  cfg.num_classes = 3;
+  nn::Sequential model_full = engine::build_frame_cnn(cfg);
+  nn::Sequential model_low = engine::build_frame_cnn(cfg);
+
+  privacy::PrivacyRouter router;
+  router.register_model(DistortionLevel::kNone, model_full, 16);
+  router.register_model(DistortionLevel::kLow, model_low, 16);
+  EXPECT_TRUE(router.has_model(DistortionLevel::kLow));
+  EXPECT_FALSE(router.has_model(DistortionLevel::kHigh));
+
+  vision::RenderConfig render;
+  render.size = 16;
+  const vision::Image frame =
+      vision::render_driver_scene(vision::DriverClass::kNormal, render, rng);
+
+  privacy::TaggedFrame clean{DistortionLevel::kNone, frame};
+  const Tensor p = router.classify(clean);
+  EXPECT_EQ(p.shape(), (std::vector<int>{1, 3}));
+  double sum = 0.0;
+  for (int c = 0; c < 3; ++c) sum += p.at(0, c);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+
+  privacy::TaggedFrame unrouted{DistortionLevel::kHigh, frame};
+  EXPECT_THROW((void)router.classify(unrouted), std::out_of_range);
+}
+
+}  // namespace

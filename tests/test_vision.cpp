@@ -1,0 +1,212 @@
+// Unit tests for the vision substrate: image type, nearest-neighbour
+// resize (the privacy distortion primitive), renderer structure, IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "vision/image.hpp"
+#include "vision/renderer.hpp"
+
+namespace {
+
+using namespace darnet;
+using vision::DriverClass;
+using vision::Image;
+
+TEST(Image, ConstructionAndBounds) {
+  Image img(4, 3, 0.5f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(3, 2), 0.5f);
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(Image(0, 3), std::invalid_argument);
+}
+
+TEST(Image, SampleClampsOutOfBoundsToZero) {
+  Image img(2, 2, 1.0f);
+  EXPECT_EQ(img.sample(-1, 0), 0.0f);
+  EXPECT_EQ(img.sample(0, 5), 0.0f);
+  EXPECT_EQ(img.sample(1, 1), 1.0f);
+}
+
+TEST(Image, BlendMixesWithAlpha) {
+  Image img(1, 1, 0.0f);
+  img.blend(0, 0, 1.0f, 0.25f);
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.25f);
+  img.blend(5, 5, 1.0f);  // silently clipped
+}
+
+TEST(Resize, DownsampleSelectsNearestPixels) {
+  // 4x4 checkerboard of 2x2 blocks -> 2x2 picks one pixel per block.
+  Image src(4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      src.at(x, y) = ((x / 2 + y / 2) % 2 == 0) ? 1.0f : 0.0f;
+    }
+  }
+  const Image dst = vision::resize_nearest(src, 2, 2);
+  EXPECT_EQ(dst.at(0, 0), 1.0f);
+  EXPECT_EQ(dst.at(1, 0), 0.0f);
+  EXPECT_EQ(dst.at(0, 1), 0.0f);
+  EXPECT_EQ(dst.at(1, 1), 1.0f);
+}
+
+TEST(Resize, UpsampleReplicatesPixels) {
+  Image src(2, 1);
+  src.at(0, 0) = 0.2f;
+  src.at(1, 0) = 0.8f;
+  const Image dst = vision::resize_nearest(src, 4, 2);
+  EXPECT_EQ(dst.at(0, 0), 0.2f);
+  EXPECT_EQ(dst.at(1, 1), 0.2f);
+  EXPECT_EQ(dst.at(2, 0), 0.8f);
+  EXPECT_EQ(dst.at(3, 1), 0.8f);
+}
+
+TEST(Resize, RoundTripDownUpIsLossyButDownDownIsConsistent) {
+  // Down-sampling then up-sampling must keep only block structure; two
+  // successive downsamples equal one direct downsample (nearest-neighbour
+  // property on power-of-two factors).
+  Image src(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      src.at(x, y) = static_cast<float>((x * 31 + y * 17) % 256) / 255.0f;
+    }
+  }
+  const Image direct = vision::resize_nearest(src, 4, 4);
+  const Image staged =
+      vision::resize_nearest(vision::resize_nearest(src, 8, 8), 4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(direct.at(x, y), staged.at(x, y));
+    }
+  }
+}
+
+TEST(BatchTensor, RoundTrip) {
+  Image a(3, 3, 0.1f), b(3, 3, 0.9f);
+  a.at(1, 2) = 0.7f;
+  const Image batch_src[] = {a, b};
+  const auto batch = vision::to_batch_tensor(batch_src);
+  EXPECT_EQ(batch.shape(), (std::vector<int>{2, 1, 3, 3}));
+  const Image a2 = vision::from_batch_tensor(batch, 0);
+  EXPECT_EQ(a2.at(1, 2), 0.7f);
+  const Image b2 = vision::from_batch_tensor(batch, 1);
+  EXPECT_EQ(b2.at(0, 0), 0.9f);
+  EXPECT_THROW((void)vision::from_batch_tensor(batch, 2), std::out_of_range);
+}
+
+TEST(BatchTensor, RejectsMixedSizes) {
+  const Image imgs[] = {Image(3, 3), Image(4, 4)};
+  EXPECT_THROW((void)vision::to_batch_tensor(imgs), std::invalid_argument);
+}
+
+TEST(Pgm, WritesValidHeaderAndPayload) {
+  Image img(3, 2);
+  img.at(0, 0) = 1.0f;
+  const std::string path = "/tmp/darnet_test_image.pgm";
+  vision::write_pgm(path, img);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w, h, maxval;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  EXPECT_EQ(in.get(), 255);  // first pixel saturated
+  std::remove(path.c_str());
+}
+
+TEST(Ascii, ProducesDrawableText) {
+  util::Rng rng(1);
+  const Image img =
+      vision::render_driver_scene(DriverClass::kNormal, {}, rng);
+  const std::string art = vision::to_ascii(img, 32);
+  EXPECT_GT(art.size(), 100u);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST(Renderer, FramesAreConfiguredSizeAndInRange) {
+  util::Rng rng(2);
+  vision::RenderConfig cfg;
+  cfg.size = 48;
+  for (int c = 0; c < vision::kDriverClassCount; ++c) {
+    const Image img =
+        vision::render_driver_scene(static_cast<DriverClass>(c), cfg, rng);
+    EXPECT_EQ(img.width(), 48);
+    EXPECT_EQ(img.height(), 48);
+    for (float p : img.pixels()) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+    }
+  }
+}
+
+TEST(Renderer, DeterministicPerSeed) {
+  vision::RenderConfig cfg;
+  util::Rng rng1(5), rng2(5);
+  const Image a = vision::render_driver_scene(DriverClass::kTexting, cfg, rng1);
+  const Image b = vision::render_driver_scene(DriverClass::kTexting, cfg, rng2);
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      ASSERT_EQ(a.at(x, y), b.at(x, y));
+    }
+  }
+}
+
+TEST(Renderer, ClassesDifferMoreAcrossThanWithin) {
+  // Mean per-class images must differ between e.g. reaching and talking
+  // more than two same-class renders differ -- i.e. the classes carry
+  // signal beyond the noise.
+  vision::RenderConfig cfg;
+  cfg.pixel_noise = 0.0;
+  auto mean_image = [&](DriverClass c, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<double> acc(static_cast<std::size_t>(cfg.size) * cfg.size,
+                            0.0);
+    constexpr int kReps = 96;
+    for (int r = 0; r < kReps; ++r) {
+      const Image img = vision::render_driver_scene(c, cfg, rng);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += img.pixels()[i];
+    }
+    for (auto& v : acc) v /= kReps;
+    return acc;
+  };
+  auto l2 = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return std::sqrt(acc);
+  };
+  const auto reach1 = mean_image(DriverClass::kReaching, 100);
+  const auto reach2 = mean_image(DriverClass::kReaching, 200);
+  const auto talk = mean_image(DriverClass::kTalking, 300);
+  EXPECT_GT(l2(reach1, talk), 1.5 * l2(reach1, reach2));
+}
+
+TEST(Renderer, FineSceneCoversAllClassesAndValidates) {
+  util::Rng rng(6);
+  vision::RenderConfig cfg;
+  for (int c = 0; c < vision::kFineClassCount; ++c) {
+    const Image img = vision::render_fine_scene(c, cfg, rng);
+    EXPECT_EQ(img.width(), cfg.size);
+  }
+  EXPECT_THROW((void)vision::render_fine_scene(18, cfg, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)vision::render_fine_scene(-1, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(Renderer, ClassNamesMatchTable1) {
+  EXPECT_STREQ(vision::driver_class_name(DriverClass::kNormal),
+               "Normal Driving");
+  EXPECT_STREQ(vision::driver_class_name(DriverClass::kEating),
+               "Eating/Drinking");
+  EXPECT_STREQ(vision::driver_class_name(DriverClass::kReaching), "Reaching");
+}
+
+}  // namespace
