@@ -5,12 +5,15 @@
 #include "bayes/combiner.hpp"
 #include "collection/messages.hpp"
 #include "collection/store.hpp"
+#include "core/dataset.hpp"
 #include "privacy/privacy.hpp"
 #include "imu/imu.hpp"
 #include "engine/architectures.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
+#include "parallel/pool.hpp"
 #include "tensor/ops.hpp"
 #include "vision/renderer.hpp"
 
@@ -30,7 +33,7 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv2DForward(benchmark::State& state) {
   util::Rng rng(2);
@@ -55,6 +58,56 @@ void BM_Conv2DTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2DTrainStep);
+
+void BM_Conv2DForwardDirect(benchmark::State& state) {
+  // Small plane (6x6 -> 36 output pixels) stays under the im2col dispatch
+  // threshold and exercises the direct sliding-window fallback.
+  util::Rng rng(2);
+  nn::Conv2D conv(8, 16, 3, 1, rng);
+  const Tensor x = Tensor::uniform({4, 8, 6, 6}, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel("direct-kernel fallback path");
+}
+BENCHMARK(BM_Conv2DForwardDirect);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  // End-to-end supervised epoch of the frame CNN on a synthetic minibatch
+  // stream: gathers, forward, backward, clip, optimizer step.
+  engine::FrameCnnConfig cfg;
+  nn::Sequential cnn = engine::build_frame_cnn(cfg);
+  util::Rng rng(12);
+  const int n = 64;
+  const Tensor x = Tensor::uniform({n, 1, 48, 48}, 0.5f, rng);
+  std::vector<int> labels(n);
+  for (auto& y : labels) y = static_cast<int>(rng.uniform_index(6));
+  nn::Sgd optimizer(0.03, 0.9, 1e-4);
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 32;
+  for (auto _ : state) {
+    const double loss = nn::train_classifier(cnn, optimizer, x, labels, tc);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("one epoch, 64 frames, batch 32");
+}
+BENCHMARK(BM_TrainEpoch);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  core::DatasetConfig cfg;
+  cfg.scale = 0.002;
+  cfg.parallel = state.range(0) != 0;
+  for (auto _ : state) {
+    core::Dataset data = core::generate_dataset(cfg);
+    benchmark::DoNotOptimize(data.frames.data());
+  }
+  state.SetLabel(cfg.parallel ? "per-row forked RNG streams"
+                              : "serial single-stream (seed layout)");
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(0)->Arg(1);
 
 void BM_FrameCnnInference(benchmark::State& state) {
   engine::FrameCnnConfig cfg;
@@ -200,4 +253,14 @@ BENCHMARK(BM_StoreAlignedQuery);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Record the pool width alongside the numbers: every ns/op in the JSON
+// output is only meaningful relative to the thread count it ran with.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "darnet_threads", std::to_string(darnet::parallel::thread_count()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

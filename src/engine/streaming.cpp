@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "parallel/pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace darnet::engine {
@@ -38,6 +39,25 @@ std::vector<StreamingVerdict> smooth_timeline(
     v.alert_onset = streak == config.alert_streak;
     out.push_back(std::move(v));
   }
+  return out;
+}
+
+std::vector<std::vector<StreamingVerdict>> smooth_timelines(
+    const std::vector<std::vector<Tensor>>& driver_timelines,
+    const StreamingConfig& config) {
+  if (config.smoothing_alpha <= 0.0 || config.smoothing_alpha > 1.0 ||
+      config.alert_streak < 1) {
+    throw std::invalid_argument("smooth_timelines: invalid config");
+  }
+  std::vector<std::vector<StreamingVerdict>> out(driver_timelines.size());
+  parallel::parallel_for(
+      0, static_cast<std::int64_t>(driver_timelines.size()), /*grain=*/1,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          out[static_cast<std::size_t>(i)] = smooth_timeline(
+              driver_timelines[static_cast<std::size_t>(i)], config);
+        }
+      });
   return out;
 }
 

@@ -37,6 +37,15 @@ struct StreamingVerdict {
 [[nodiscard]] std::vector<StreamingVerdict> smooth_timeline(
     const std::vector<Tensor>& distributions, const StreamingConfig& config);
 
+/// Fleet-scale counterpart of smooth_timeline: one recorded timeline per
+/// driver. The EWMA recurrence is inherently sequential *within* a
+/// timeline, but drivers are independent, so timelines are sharded across
+/// the parallel::ThreadPool. Output order matches the input order and each
+/// per-driver result is identical to a smooth_timeline call on it.
+[[nodiscard]] std::vector<std::vector<StreamingVerdict>> smooth_timelines(
+    const std::vector<std::vector<Tensor>>& driver_timelines,
+    const StreamingConfig& config);
+
 /// Feeds per-timestep modality inputs through an EnsembleClassifier and
 /// maintains the temporal state (smoothed distribution, alert streak).
 class StreamingClassifier {

@@ -1,8 +1,27 @@
 #include "nn/conv2d.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/pool.hpp"
+#include "tensor/ops.hpp"
 
 namespace darnet::nn {
+
+namespace {
+
+// Work below this many flops is not worth a dispatch to the pool; used to
+// derive the per-image grain for batch sharding.
+constexpr std::int64_t kChunkFlops = 1 << 18;
+
+std::int64_t image_grain(std::int64_t flops_per_image) noexcept {
+  return std::max<std::int64_t>(
+      1, kChunkFlops / std::max<std::int64_t>(1, flops_per_image));
+}
+
+}  // namespace
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int padding,
                util::Rng& rng)
@@ -18,19 +37,112 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int padding,
   }
 }
 
-Tensor Conv2D::forward(const Tensor& input, bool training) {
+bool Conv2D::use_gemm(int oh, int ow) const noexcept {
+  // The patch matrix must be tall enough to amortise its construction and
+  // wide enough that the register-tiled GEMM kernel can stream B rows.
+  const std::int64_t patch = static_cast<std::int64_t>(in_ch_) * k_ * k_;
+  const std::int64_t pixels = static_cast<std::int64_t>(oh) * ow;
+  return patch * pixels >= 2048 && pixels >= 64;
+}
+
+void Conv2D::validate_input(const Tensor& input) const {
   if (input.rank() != 4 || input.dim(1) != in_ch_) {
     throw std::invalid_argument("Conv2D::forward: expected NCHW with C=" +
                                 std::to_string(in_ch_) + ", got " +
                                 input.shape_string());
   }
+  const int h = input.dim(2), w = input.dim(3);
+  if (h + 2 * pad_ - k_ + 1 <= 0 || w + 2 * pad_ - k_ + 1 <= 0) {
+    throw std::invalid_argument("Conv2D::forward: kernel larger than input");
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  validate_input(input);
+  if (training) cached_input_ = input;
+  return run_forward(input);
+}
+
+Tensor Conv2D::forward_moved(Tensor&& input, bool training) {
+  validate_input(input);
+  if (training) {
+    // Steal the caller's buffer instead of deep-copying it; the forward
+    // pass then reads the activation out of the cache.
+    cached_input_ = std::move(input);
+    return run_forward(cached_input_);
+  }
+  return run_forward(input);
+}
+
+void Conv2D::im2col(const float* x, int h, int w, int oh, int ow,
+                    float* col) const {
+  const std::size_t pixels = static_cast<std::size_t>(oh) * ow;
+  for (int ic = 0; ic < in_ch_; ++ic) {
+    const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
+    for (int kr = 0; kr < k_; ++kr) {
+      for (int kc = 0; kc < k_; ++kc) {
+        float* row =
+            col + (static_cast<std::size_t>(ic) * k_ * k_ + kr * k_ + kc) *
+                      pixels;
+        const int c0 = std::max(0, pad_ - kc);
+        const int c1 = std::min(ow, w + pad_ - kc);
+        for (int r = 0; r < oh; ++r) {
+          float* dst = row + static_cast<std::size_t>(r) * ow;
+          const int sr = r + kr - pad_;
+          if (sr < 0 || sr >= h || c0 >= c1) {
+            std::fill(dst, dst + ow, 0.0f);
+            continue;
+          }
+          std::fill(dst, dst + c0, 0.0f);
+          const float* src =
+              xplane + static_cast<std::size_t>(sr) * w + (c0 + kc - pad_);
+          std::copy(src, src + (c1 - c0), dst + c0);
+          std::fill(dst + c1, dst + ow, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+void Conv2D::forward_image_direct(const float* x, int h, int w, int oh,
+                                  int ow, float* y) const {
+  const float* wts = weight_.value.data();
+  const float* bias = bias_.value.data();
+  for (int oc = 0; oc < out_ch_; ++oc) {
+    float* yplane = y + static_cast<std::size_t>(oc) * oh * ow;
+    std::fill(yplane, yplane + static_cast<std::size_t>(oh) * ow, bias[oc]);
+    for (int ic = 0; ic < in_ch_; ++ic) {
+      const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
+      const float* kern =
+          wts + ((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_) * k_;
+      for (int kr = 0; kr < k_; ++kr) {
+        for (int kc = 0; kc < k_; ++kc) {
+          const float kv = kern[kr * k_ + kc];
+          // Valid output range for this kernel offset. (No zero-skip on kv:
+          // the branch costs more than the multiply and adding kv*x == +-0
+          // never changes accumulator bits.)
+          const int r0 = std::max(0, pad_ - kr);
+          const int r1 = std::min(oh, h + pad_ - kr);
+          const int c0 = std::max(0, pad_ - kc);
+          const int c1 = std::min(ow, w + pad_ - kc);
+          for (int r = r0; r < r1; ++r) {
+            const float* xrow =
+                xplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                (c0 + kc - pad_);
+            float* yrow = yplane + static_cast<std::size_t>(r) * ow + c0;
+            const int len = c1 - c0;
+            for (int c = 0; c < len; ++c) yrow[c] += kv * xrow[c];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::run_forward(const Tensor& input) const {
   const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const int oh = h + 2 * pad_ - k_ + 1;
   const int ow = w + 2 * pad_ - k_ + 1;
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("Conv2D::forward: kernel larger than input");
-  }
-  if (training) cached_input_ = input;
 
   Tensor out({n, out_ch_, oh, ow});
   const float* wts = weight_.value.data();
@@ -38,42 +150,161 @@ Tensor Conv2D::forward(const Tensor& input, bool training) {
   const float* in = input.data();
   float* o = out.data();
 
+  const int patch = in_ch_ * k_ * k_;
+  const std::size_t pixels = static_cast<std::size_t>(oh) * ow;
   const std::size_t in_img = static_cast<std::size_t>(in_ch_) * h * w;
-  const std::size_t out_img = static_cast<std::size_t>(out_ch_) * oh * ow;
+  const std::size_t out_img = static_cast<std::size_t>(out_ch_) * pixels;
+  const bool gemm = use_gemm(oh, ow);
 
-  for (int img = 0; img < n; ++img) {
-    const float* x = in + img * in_img;
-    float* y = o + img * out_img;
-    for (int oc = 0; oc < out_ch_; ++oc) {
-      float* yplane = y + static_cast<std::size_t>(oc) * oh * ow;
-      std::fill(yplane, yplane + static_cast<std::size_t>(oh) * ow, bias[oc]);
-      for (int ic = 0; ic < in_ch_; ++ic) {
-        const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
-        const float* kern =
-            wts + ((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_) * k_;
-        for (int kr = 0; kr < k_; ++kr) {
-          for (int kc = 0; kc < k_; ++kc) {
-            const float kv = kern[kr * k_ + kc];
-            if (kv == 0.0f) continue;
-            // Valid output range for this kernel offset.
-            const int r0 = std::max(0, pad_ - kr);
-            const int r1 = std::min(oh, h + pad_ - kr);
-            const int c0 = std::max(0, pad_ - kc);
-            const int c1 = std::min(ow, w + pad_ - kc);
-            for (int r = r0; r < r1; ++r) {
-              const float* xrow =
-                  xplane + static_cast<std::size_t>(r + kr - pad_) * w +
-                  (c0 + kc - pad_);
-              float* yrow = yplane + static_cast<std::size_t>(r) * ow + c0;
-              const int len = c1 - c0;
-              for (int c = 0; c < len; ++c) yrow[c] += kv * xrow[c];
+  if (gemm && n == 1) {
+    // Single image (the streaming-inference hot path): unfold once, then
+    // shard the GEMM's disjoint output rows across the pool.
+    std::vector<float> col(static_cast<std::size_t>(patch) * pixels);
+    im2col(in, h, w, oh, ow, col.data());
+    const std::int64_t row_flops =
+        2LL * patch * static_cast<std::int64_t>(pixels);
+    parallel::parallel_for(
+        0, out_ch_, image_grain(row_flops),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t oc = i0; oc < i1; ++oc) {
+            std::fill(o + oc * pixels, o + (oc + 1) * pixels,
+                      bias[static_cast<std::size_t>(oc)]);
+          }
+          tensor::gemm_rows_serial(wts, col.data(), o, i0, i1, patch,
+                                   static_cast<int>(pixels));
+        });
+    return out;
+  }
+
+  const std::int64_t flops =
+      2LL * out_ch_ * patch * static_cast<std::int64_t>(pixels);
+  parallel::parallel_for(
+      0, n, image_grain(flops), [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<float> col;
+        if (gemm) col.resize(static_cast<std::size_t>(patch) * pixels);
+        for (std::int64_t img = i0; img < i1; ++img) {
+          const float* x = in + static_cast<std::size_t>(img) * in_img;
+          float* y = o + static_cast<std::size_t>(img) * out_img;
+          if (gemm) {
+            im2col(x, h, w, oh, ow, col.data());
+            for (int oc = 0; oc < out_ch_; ++oc) {
+              std::fill(y + oc * pixels, y + (oc + 1) * pixels, bias[oc]);
             }
+            tensor::gemm_rows_serial(wts, col.data(), y, 0, out_ch_, patch,
+                                     static_cast<int>(pixels));
+          } else {
+            forward_image_direct(x, h, w, oh, ow, y);
+          }
+        }
+      });
+  return out;
+}
+
+void Conv2D::backward_image_direct(const float* x, const float* gy,
+                                   float* gx, int h, int w, int oh, int ow,
+                                   float* dw_out, float* db_out) const {
+  const float* wts = weight_.value.data();
+  for (int oc = 0; oc < out_ch_; ++oc) {
+    const float* gplane = gy + static_cast<std::size_t>(oc) * oh * ow;
+    // Bias gradient: sum over the output plane.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(oh) * ow; ++i) {
+      acc += gplane[i];
+    }
+    db_out[oc] += static_cast<float>(acc);
+
+    for (int ic = 0; ic < in_ch_; ++ic) {
+      const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
+      float* gxplane = gx + static_cast<std::size_t>(ic) * h * w;
+      const std::size_t kbase =
+          (static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ * k_;
+      for (int kr = 0; kr < k_; ++kr) {
+        for (int kc = 0; kc < k_; ++kc) {
+          const int r0 = std::max(0, pad_ - kr);
+          const int r1 = std::min(oh, h + pad_ - kr);
+          const int c0 = std::max(0, pad_ - kc);
+          const int c1 = std::min(ow, w + pad_ - kc);
+          const float kv = wts[kbase + kr * k_ + kc];
+          double wacc = 0.0;
+          for (int r = r0; r < r1; ++r) {
+            const float* xrow =
+                xplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                (c0 + kc - pad_);
+            float* gxrow =
+                gxplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                (c0 + kc - pad_);
+            const float* grow =
+                gplane + static_cast<std::size_t>(r) * ow + c0;
+            const int len = c1 - c0;
+            for (int c = 0; c < len; ++c) {
+              wacc += static_cast<double>(xrow[c]) * grow[c];
+              gxrow[c] += kv * grow[c];
+            }
+          }
+          dw_out[kbase + kr * k_ + kc] += static_cast<float>(wacc);
+        }
+      }
+    }
+  }
+}
+
+void Conv2D::backward_image_gemm(const float* col, const float* gy,
+                                 float* gx, int h, int w, int oh, int ow,
+                                 float* dw_out, float* db_out) const {
+  const float* wts = weight_.value.data();
+  const int patch = in_ch_ * k_ * k_;
+  const std::size_t pixels = static_cast<std::size_t>(oh) * ow;
+
+  // dW and db from the unfolded patch matrix. Each (oc, patch-row) pair is
+  // a dot product over pixels in ascending order with a double accumulator
+  // -- exactly the direct kernel's `wacc` sweep, with the padding zeros now
+  // contributing 0.0 terms that leave the accumulator bits unchanged.
+  for (int oc = 0; oc < out_ch_; ++oc) {
+    const float* gplane = gy + static_cast<std::size_t>(oc) * pixels;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pixels; ++i) acc += gplane[i];
+    db_out[oc] += static_cast<float>(acc);
+
+    for (int kidx = 0; kidx < patch; ++kidx) {
+      const float* crow = col + static_cast<std::size_t>(kidx) * pixels;
+      double wacc = 0.0;
+      for (std::size_t p = 0; p < pixels; ++p) {
+        wacc += static_cast<double>(crow[p]) * gplane[p];
+      }
+      dw_out[static_cast<std::size_t>(oc) * patch + kidx] +=
+          static_cast<float>(wacc);
+    }
+  }
+
+  // dX stays on the direct kernel: a col2im of W^T * gY would regroup the
+  // per-element sums (oc-major instead of the (oc, kr, kc) sweep) and break
+  // bitwise reproducibility against the serial seed.
+  for (int oc = 0; oc < out_ch_; ++oc) {
+    const float* gplane = gy + static_cast<std::size_t>(oc) * pixels;
+    for (int ic = 0; ic < in_ch_; ++ic) {
+      float* gxplane = gx + static_cast<std::size_t>(ic) * h * w;
+      const std::size_t kbase =
+          (static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ * k_;
+      for (int kr = 0; kr < k_; ++kr) {
+        for (int kc = 0; kc < k_; ++kc) {
+          const int r0 = std::max(0, pad_ - kr);
+          const int r1 = std::min(oh, h + pad_ - kr);
+          const int c0 = std::max(0, pad_ - kc);
+          const int c1 = std::min(ow, w + pad_ - kc);
+          const float kv = wts[kbase + kr * k_ + kc];
+          for (int r = r0; r < r1; ++r) {
+            float* gxrow =
+                gxplane + static_cast<std::size_t>(r + kr - pad_) * w +
+                (c0 + kc - pad_);
+            const float* grow =
+                gplane + static_cast<std::size_t>(r) * ow + c0;
+            const int len = c1 - c0;
+            for (int c = 0; c < len; ++c) gxrow[c] += kv * grow[c];
           }
         }
       }
     }
   }
-  return out;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
@@ -88,61 +319,53 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   }
 
   Tensor grad_in(input.shape());
-  const float* wts = weight_.value.data();
-  float* dw = weight_.grad.data();
-  float* db = bias_.grad.data();
   const float* in = input.data();
   const float* g = grad_output.data();
   float* gi = grad_in.data();
 
+  const int patch = in_ch_ * k_ * k_;
+  const std::size_t pixels = static_cast<std::size_t>(oh) * ow;
   const std::size_t in_img = static_cast<std::size_t>(in_ch_) * h * w;
-  const std::size_t out_img = static_cast<std::size_t>(out_ch_) * oh * ow;
+  const std::size_t out_img = static_cast<std::size_t>(out_ch_) * pixels;
+  const std::size_t wsize = static_cast<std::size_t>(out_ch_) * patch;
+  const bool gemm = use_gemm(oh, ow);
 
-  for (int img = 0; img < n; ++img) {
-    const float* x = in + img * in_img;
-    const float* gy = g + img * out_img;
-    float* gx = gi + img * in_img;
-    for (int oc = 0; oc < out_ch_; ++oc) {
-      const float* gplane = gy + static_cast<std::size_t>(oc) * oh * ow;
-      // Bias gradient: sum over the output plane.
-      double acc = 0.0;
-      for (std::size_t i = 0; i < static_cast<std::size_t>(oh) * ow; ++i) {
-        acc += gplane[i];
-      }
-      db[oc] += static_cast<float>(acc);
+  // Per-image partial gradients, reduced below in ascending image order so
+  // the accumulated dW/db match the serial seed bit-for-bit regardless of
+  // how the batch was sharded.
+  std::vector<float> dw_part(static_cast<std::size_t>(n) * wsize);
+  std::vector<float> db_part(static_cast<std::size_t>(n) * out_ch_);
 
-      for (int ic = 0; ic < in_ch_; ++ic) {
-        const float* xplane = x + static_cast<std::size_t>(ic) * h * w;
-        float* gxplane = gx + static_cast<std::size_t>(ic) * h * w;
-        const std::size_t kbase =
-            (static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ * k_;
-        for (int kr = 0; kr < k_; ++kr) {
-          for (int kc = 0; kc < k_; ++kc) {
-            const int r0 = std::max(0, pad_ - kr);
-            const int r1 = std::min(oh, h + pad_ - kr);
-            const int c0 = std::max(0, pad_ - kc);
-            const int c1 = std::min(ow, w + pad_ - kc);
-            const float kv = wts[kbase + kr * k_ + kc];
-            double wacc = 0.0;
-            for (int r = r0; r < r1; ++r) {
-              const float* xrow =
-                  xplane + static_cast<std::size_t>(r + kr - pad_) * w +
-                  (c0 + kc - pad_);
-              float* gxrow =
-                  gxplane + static_cast<std::size_t>(r + kr - pad_) * w +
-                  (c0 + kc - pad_);
-              const float* grow = gplane + static_cast<std::size_t>(r) * ow + c0;
-              const int len = c1 - c0;
-              for (int c = 0; c < len; ++c) {
-                wacc += static_cast<double>(xrow[c]) * grow[c];
-                gxrow[c] += kv * grow[c];
-              }
-            }
-            dw[kbase + kr * k_ + kc] += static_cast<float>(wacc);
+  const std::int64_t flops =
+      4LL * out_ch_ * patch * static_cast<std::int64_t>(pixels);
+  parallel::parallel_for(
+      0, n, image_grain(flops), [&](std::int64_t i0, std::int64_t i1) {
+        std::vector<float> col;
+        if (gemm) col.resize(static_cast<std::size_t>(patch) * pixels);
+        for (std::int64_t img = i0; img < i1; ++img) {
+          const float* x = in + static_cast<std::size_t>(img) * in_img;
+          const float* gy = g + static_cast<std::size_t>(img) * out_img;
+          float* gx = gi + static_cast<std::size_t>(img) * in_img;
+          float* dw_out = dw_part.data() + static_cast<std::size_t>(img) * wsize;
+          float* db_out =
+              db_part.data() + static_cast<std::size_t>(img) * out_ch_;
+          if (gemm) {
+            im2col(x, h, w, oh, ow, col.data());
+            backward_image_gemm(col.data(), gy, gx, h, w, oh, ow, dw_out,
+                                db_out);
+          } else {
+            backward_image_direct(x, gy, gx, h, w, oh, ow, dw_out, db_out);
           }
         }
-      }
-    }
+      });
+
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+  for (int img = 0; img < n; ++img) {
+    const float* wp = dw_part.data() + static_cast<std::size_t>(img) * wsize;
+    for (std::size_t i = 0; i < wsize; ++i) dw[i] += wp[i];
+    const float* bp = db_part.data() + static_cast<std::size_t>(img) * out_ch_;
+    for (int oc = 0; oc < out_ch_; ++oc) db[oc] += bp[oc];
   }
   return grad_in;
 }

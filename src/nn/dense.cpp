@@ -14,21 +14,38 @@ Dense::Dense(int in_features, int out_features, util::Rng& rng)
   }
 }
 
-Tensor Dense::forward(const Tensor& input, bool training) {
+void Dense::validate_input(const Tensor& input) const {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Dense::forward: expected [N, " +
                                 std::to_string(in_) + "], got " +
                                 input.shape_string());
   }
-  if (training) cached_input_ = input;
-  Tensor out = tensor::matmul(input, weight_.value);
+}
+
+Tensor Dense::affine(const Tensor& x) const {
+  Tensor out = tensor::matmul(x, weight_.value);
   const int n = out.dim(0);
+  const float* b = bias_.value.data();
   for (int i = 0; i < n; ++i) {
     float* row = out.data() + static_cast<std::size_t>(i) * out_;
-    const float* b = bias_.value.data();
     for (int j = 0; j < out_; ++j) row[j] += b[j];
   }
   return out;
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  validate_input(input);
+  if (training) cached_input_ = input;
+  return affine(input);
+}
+
+Tensor Dense::forward_moved(Tensor&& input, bool training) {
+  validate_input(input);
+  if (training) {
+    cached_input_ = std::move(input);
+    return affine(cached_input_);
+  }
+  return affine(input);
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

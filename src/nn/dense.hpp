@@ -10,6 +10,7 @@ class Dense final : public Layer {
   Dense(int in_features, int out_features, util::Rng& rng);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_moved(Tensor&& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "Dense"; }
@@ -18,6 +19,10 @@ class Dense final : public Layer {
   [[nodiscard]] int out_features() const noexcept { return out_; }
 
  private:
+  /// y = x W + b without touching the cache.
+  Tensor affine(const Tensor& x) const;
+  void validate_input(const Tensor& input) const;
+
   int in_;
   int out_;
   Param weight_;

@@ -42,6 +42,15 @@ class Layer {
   Layer& operator=(Layer&&) = default;
 
   virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Rvalue-input forward: layers that cache their input for backward may
+  /// override this to steal the buffer instead of deep-copying it (the
+  /// default forwards to the const-ref overload). Sequential uses it to
+  /// hand each intermediate activation to the next layer without copies.
+  virtual Tensor forward_moved(Tensor&& input, bool training) {
+    return forward(input, training);
+  }
+
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
   /// Learnable parameters (empty for stateless layers). Pointers remain

@@ -153,6 +153,24 @@ Tensor BiLstm::forward(const Tensor& input, bool training) {
   return output;
 }
 
+Tensor BiLstm::forward_moved(Tensor&& input, bool training) {
+  if (!training) return forward(input, false);
+  if (input.rank() != 3 || input.dim(2) != input_dim_) {
+    throw std::invalid_argument("BiLstm::forward: expected [N, T, " +
+                                std::to_string(input_dim_) + "], got " +
+                                input.shape_string());
+  }
+  // Steal the buffer for the BPTT cache instead of deep-copying it.
+  cached_input_ = std::move(input);
+  const int n = cached_input_.dim(0), steps = cached_input_.dim(1);
+  Tensor output({n, steps, 2 * hidden_});
+  run_direction(cached_input_, fwd_, /*reversed=*/false, training, fwd_trace_,
+                output, 0);
+  run_direction(cached_input_, bwd_, /*reversed=*/true, training, bwd_trace_,
+                output, hidden_);
+  return output;
+}
+
 void BiLstm::backprop_direction(const Tensor& grad_output, int out_offset,
                                 LstmDirection& dir, bool reversed,
                                 const DirectionTrace& trace,

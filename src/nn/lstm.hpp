@@ -30,6 +30,7 @@ class BiLstm final : public Layer {
   BiLstm(int input_dim, int hidden_dim, util::Rng& rng);
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_moved(Tensor&& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "BiLstm"; }

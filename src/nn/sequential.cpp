@@ -9,8 +9,20 @@ Sequential& Sequential::add(LayerPtr layer) {
 }
 
 Tensor Sequential::forward(const Tensor& input, bool training) {
-  Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, training);
+  if (layers_.empty()) return input;
+  // First layer reads the caller's tensor; every later layer receives the
+  // previous activation as an rvalue so caching layers (Conv2D, Dense,
+  // BiLstm) can steal the buffer instead of deep-copying it.
+  Tensor x = layers_.front()->forward(input, training);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->forward_moved(std::move(x), training);
+  }
+  return x;
+}
+
+Tensor Sequential::forward_moved(Tensor&& input, bool training) {
+  Tensor x = std::move(input);
+  for (auto& layer : layers_) x = layer->forward_moved(std::move(x), training);
   return x;
 }
 

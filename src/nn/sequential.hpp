@@ -18,6 +18,7 @@ class Sequential final : public Layer {
   }
 
   Tensor forward(const Tensor& input, bool training) override;
+  Tensor forward_moved(Tensor&& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }

@@ -4,18 +4,20 @@
 
 #include "nn/loss.hpp"
 #include "nn/sequential.hpp"
+#include "parallel/pool.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
 namespace darnet::nn {
 
-Tensor gather_rows(const Tensor& data, std::span<const std::size_t> indices) {
+void gather_rows_into(const Tensor& data, std::span<const std::size_t> indices,
+                      Tensor& out) {
   if (data.rank() < 1) throw std::invalid_argument("gather_rows: rank >= 1");
   std::vector<int> shape = data.shape();
   const std::size_t row =
       data.numel() / static_cast<std::size_t>(shape[0]);
   shape[0] = static_cast<int>(indices.size());
-  Tensor out(shape);
+  if (out.empty() || out.shape() != shape) out = Tensor(shape);
   for (std::size_t i = 0; i < indices.size(); ++i) {
     if (indices[i] >= static_cast<std::size_t>(data.dim(0))) {
       throw std::out_of_range("gather_rows: index out of range");
@@ -23,27 +25,161 @@ Tensor gather_rows(const Tensor& data, std::span<const std::size_t> indices) {
     std::copy(data.data() + indices[i] * row, data.data() + (indices[i] + 1) * row,
               out.data() + i * row);
   }
+}
+
+Tensor gather_rows(const Tensor& data, std::span<const std::size_t> indices) {
+  Tensor out;
+  gather_rows_into(data, indices, out);
   return out;
 }
 
 namespace {
 
+using LossFn =
+    std::function<LossResult(const Tensor&, std::span<const std::size_t>)>;
+
+/// One optimisation step over batch indices `idx`, computed on the master
+/// model alone. Bit-for-bit identical to the original serial trainer.
+double step_serial(Layer& model, const std::vector<Param*>& params,
+                   Optimizer& optimizer, const Tensor& x,
+                   std::span<const std::size_t> idx, const TrainConfig& cfg,
+                   const LossFn& loss_fn) {
+  Tensor xb = gather_rows(x, idx);
+  // The minibatch is a temporary: hand the buffer to the model so caching
+  // layers keep it instead of deep-copying.
+  Tensor out = model.forward_moved(std::move(xb), /*training=*/true);
+  LossResult lr = loss_fn(out, idx);
+  model.backward(lr.grad);
+  if (cfg.grad_clip > 0.0) clip_grad_norm(params, cfg.grad_clip);
+  optimizer.step(params);
+  return lr.loss;
+}
+
+/// Replicas + per-replica parameter lists for the data-parallel path.
+struct ShardSet {
+  std::vector<LayerPtr> replicas;                 // shards 1..S-1
+  std::vector<std::vector<Param*>> rep_params;    // parallel to replicas
+};
+
+ShardSet build_shards(const std::vector<Param*>& params,
+                      const TrainConfig& cfg) {
+  if (!cfg.make_replica) {
+    throw std::invalid_argument("train: shards > 1 requires make_replica");
+  }
+  ShardSet set;
+  for (int s = 1; s < cfg.shards; ++s) {
+    LayerPtr replica = cfg.make_replica();
+    if (!replica) {
+      throw std::invalid_argument("train: make_replica returned null");
+    }
+    auto rp = replica->params();
+    if (rp.size() != params.size()) {
+      throw std::invalid_argument(
+          "train: replica parameter structure mismatch");
+    }
+    for (std::size_t i = 0; i < rp.size(); ++i) {
+      if (!rp[i]->value.same_shape(params[i]->value)) {
+        throw std::invalid_argument(
+            "train: replica parameter shape mismatch");
+      }
+    }
+    set.replicas.push_back(std::move(replica));
+    set.rep_params.push_back(std::move(rp));
+  }
+  return set;
+}
+
+/// One optimisation step with the minibatch split across `shard_count`
+/// contiguous shards (master = shard 0, replicas = 1..). Each shard runs a
+/// full forward/backward serially (nested kernel parallelism is inlined by
+/// the pool), so per-shard gradients are independent of the thread count;
+/// the weighted reduction below walks shards in ascending order, making the
+/// whole step deterministic for a fixed shard count.
+double step_sharded(Layer& model, const std::vector<Param*>& params,
+                    Optimizer& optimizer, const Tensor& x,
+                    std::span<const std::size_t> idx, const TrainConfig& cfg,
+                    const LossFn& loss_fn, ShardSet& shards) {
+  const std::size_t nb = idx.size();
+  const int s_eff =
+      static_cast<int>(std::min<std::size_t>(cfg.shards, nb));
+  const std::size_t per = nb / static_cast<std::size_t>(s_eff);
+  const std::size_t rem = nb % static_cast<std::size_t>(s_eff);
+  const auto shard_begin = [&](int s) {
+    const auto su = static_cast<std::size_t>(s);
+    return su * per + std::min(su, rem);
+  };
+
+  // Replicas re-read the master's parameters before every step (copy into
+  // the existing buffers; no allocation at steady state).
+  for (auto& rp : shards.rep_params) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const Tensor& src = params[i]->value;
+      std::copy(src.data(), src.data() + src.numel(), rp[i]->value.data());
+    }
+  }
+
+  std::vector<double> shard_loss(static_cast<std::size_t>(s_eff), 0.0);
+  parallel::parallel_for(
+      0, s_eff, /*grain=*/1, [&](std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+          const std::size_t b = shard_begin(static_cast<int>(s));
+          const std::size_t e = shard_begin(static_cast<int>(s) + 1);
+          std::span<const std::size_t> sidx(idx.data() + b, e - b);
+          Layer& m = (s == 0) ? model : *shards.replicas[s - 1];
+          Tensor xb = gather_rows(x, sidx);
+          Tensor out = m.forward_moved(std::move(xb), /*training=*/true);
+          LossResult lr = loss_fn(out, sidx);
+          m.backward(lr.grad);
+          shard_loss[static_cast<std::size_t>(s)] = lr.loss;
+        }
+      });
+
+  // Fixed-order weighted reduction: grad = sum_s (n_s / n_b) * grad_s.
+  // Shard losses/grads are means over the shard, so the weights recover the
+  // batch mean the serial path would produce.
+  const auto weight = [&](int s) {
+    return static_cast<double>(shard_begin(s + 1) - shard_begin(s)) /
+           static_cast<double>(nb);
+  };
+  for (Param* p : params) {
+    tensor::scale_inplace(p->grad, static_cast<float>(weight(0)));
+  }
+  double batch_loss = weight(0) * shard_loss[0];
+  for (int s = 1; s < s_eff; ++s) {
+    const float ws = static_cast<float>(weight(s));
+    auto& rp = shards.rep_params[static_cast<std::size_t>(s) - 1];
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      tensor::axpy(ws, rp[i]->grad, params[i]->grad);
+      rp[i]->zero_grad();
+    }
+    batch_loss += weight(s) * shard_loss[static_cast<std::size_t>(s)];
+  }
+
+  if (cfg.grad_clip > 0.0) clip_grad_norm(params, cfg.grad_clip);
+  optimizer.step(params);
+  return batch_loss;
+}
+
 /// Shared minibatch loop; `loss_fn` maps (model output, batch indices) to a
 /// LossResult.
-double run_epochs(
-    Layer& model, Optimizer& optimizer, const Tensor& x, std::size_t n,
-    const TrainConfig& cfg,
-    const std::function<LossResult(const Tensor&,
-                                   std::span<const std::size_t>)>& loss_fn) {
+double run_epochs(Layer& model, Optimizer& optimizer, const Tensor& x,
+                  std::size_t n, const TrainConfig& cfg,
+                  const LossFn& loss_fn) {
   if (n == 0) throw std::invalid_argument("train: empty dataset");
   if (cfg.batch_size <= 0 || cfg.epochs <= 0) {
     throw std::invalid_argument("train: epochs and batch_size must be > 0");
+  }
+  if (cfg.shards < 1) {
+    throw std::invalid_argument("train: shards must be >= 1");
   }
   util::Rng rng(cfg.shuffle_seed);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
 
   const auto params = model.params();
+  ShardSet shards;
+  if (cfg.shards > 1) shards = build_shards(params, cfg);
+
   double epoch_loss = 0.0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
@@ -54,13 +190,11 @@ double run_epochs(
       const std::size_t end =
           std::min(n, start + static_cast<std::size_t>(cfg.batch_size));
       std::span<const std::size_t> idx(order.data() + start, end - start);
-      Tensor xb = gather_rows(x, idx);
-      Tensor out = model.forward(xb, /*training=*/true);
-      LossResult lr = loss_fn(out, idx);
-      model.backward(lr.grad);
-      if (cfg.grad_clip > 0.0) clip_grad_norm(params, cfg.grad_clip);
-      optimizer.step(params);
-      epoch_loss += lr.loss;
+      epoch_loss +=
+          cfg.shards > 1
+              ? step_sharded(model, params, optimizer, x, idx, cfg, loss_fn,
+                             shards)
+              : step_serial(model, params, optimizer, x, idx, cfg, loss_fn);
       ++batches;
     }
     epoch_loss /= static_cast<double>(batches);
@@ -102,13 +236,16 @@ double train_distillation(Layer& model, Optimizer& optimizer, const Tensor& x,
 Tensor predict_logits(Layer& model, const Tensor& x, int batch_size) {
   const std::size_t n = static_cast<std::size_t>(x.dim(0));
   Tensor all;  // allocated after the first batch reveals C
+  Tensor xb;   // minibatch scratch, reused across full-size batches
+  std::vector<std::size_t> idx;
   for (std::size_t start = 0; start < n;
        start += static_cast<std::size_t>(batch_size)) {
     const std::size_t end =
         std::min(n, start + static_cast<std::size_t>(batch_size));
-    std::vector<std::size_t> idx(end - start);
+    idx.resize(end - start);
     std::iota(idx.begin(), idx.end(), start);
-    Tensor out = model.forward(gather_rows(x, idx), /*training=*/false);
+    gather_rows_into(x, idx, xb);
+    Tensor out = model.forward(xb, /*training=*/false);
     if (out.rank() != 2) {
       throw std::logic_error("predict_logits: model output must be [N, C]");
     }

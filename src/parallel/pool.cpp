@@ -1,0 +1,202 @@
+#include "parallel/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+namespace darnet::parallel {
+
+namespace {
+
+thread_local bool t_in_region = false;
+
+constexpr int kMaxThreads = 256;
+
+int env_thread_count() noexcept {
+  const char* env = std::getenv("DARNET_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1) {
+      return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, unsigned{kMaxThreads}));
+}
+
+// Global pool state. The pool is recreated when set_thread_count changes
+// the effective count; a mutex guards the (rare) accessor path.
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;          // guarded by g_pool_mu
+std::atomic<int> g_thread_count{0};          // 0 = not yet initialised
+
+std::shared_ptr<ThreadPool> acquire_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) {
+    g_pool = std::make_shared<ThreadPool>(thread_count() - 1);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+struct ThreadPool::Region {
+  std::int64_t begin{0};
+  std::int64_t chunk{1};
+  std::int64_t nchunks{0};
+  const RangeBody* body{nullptr};
+  std::int64_t end{0};
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0 || workers > kMaxThreads) {
+    throw std::invalid_argument("ThreadPool: invalid worker count");
+  }
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(Region& region) {
+  const bool was_in_region = t_in_region;
+  t_in_region = true;
+  for (;;) {
+    const std::int64_t c = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= region.nchunks || region.failed.load(std::memory_order_relaxed)) {
+      break;
+    }
+    const std::int64_t b = region.begin + c * region.chunk;
+    const std::int64_t e = std::min(region.end, b + region.chunk);
+    try {
+      (*region.body)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.error_mu);
+      if (!region.error) region.error = std::current_exception();
+      region.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  t_in_region = was_in_region;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      region = region_;
+    }
+    run_chunks(*region);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
+                           std::int64_t grain, const RangeBody& body) {
+  if (begin >= end) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t range = end - begin;
+
+  // Chunk size: at least `grain`, and large enough that each thread gets
+  // only a few chunks (cheap dynamic balancing, bounded overhead). The
+  // resulting chunk boundaries depend only on range/grain/concurrency.
+  const std::int64_t target = 4 * static_cast<std::int64_t>(concurrency());
+  const std::int64_t chunk =
+      std::max(grain, (range + target - 1) / target);
+  const std::int64_t nchunks = (range + chunk - 1) / chunk;
+
+  if (nchunks <= 1 || workers() == 0 || t_in_region) {
+    body(begin, end);  // exact serial path; exceptions propagate directly
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  Region region;
+  region.begin = begin;
+  region.end = end;
+  region.chunk = chunk;
+  region.nchunks = nchunks;
+  region.body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_ = &region;
+    pending_ = workers();
+    ++epoch_;
+  }
+  wake_.notify_all();
+
+  run_chunks(region);  // the caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    region_ = nullptr;
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+int thread_count() noexcept {
+  int count = g_thread_count.load(std::memory_order_acquire);
+  if (count == 0) {
+    count = env_thread_count();
+    int expected = 0;
+    if (!g_thread_count.compare_exchange_strong(expected, count,
+                                                std::memory_order_acq_rel)) {
+      count = expected;
+    }
+  }
+  return count;
+}
+
+void set_thread_count(int count) {
+  if (count < 1 || count > kMaxThreads) {
+    throw std::invalid_argument("set_thread_count: count must be in [1, 256]");
+  }
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_thread_count.store(count, std::memory_order_release);
+  g_pool.reset();  // lazily recreated at the new size
+}
+
+bool in_parallel_region() noexcept { return t_in_region; }
+
+ThreadPool& global_pool() { return *acquire_pool(); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const RangeBody& body) {
+  if (begin >= end) return;
+  if (thread_count() <= 1 || t_in_region) {
+    body(begin, end);
+    return;
+  }
+  // Hold a reference so a concurrent set_thread_count cannot destroy the
+  // pool mid-region.
+  const std::shared_ptr<ThreadPool> pool = acquire_pool();
+  pool->for_range(begin, end, grain, body);
+}
+
+}  // namespace darnet::parallel

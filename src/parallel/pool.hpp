@@ -1,0 +1,107 @@
+// Work-queue thread pool and `parallel_for` -- DarNet's parallel execution
+// substrate.
+//
+// Design goals (see DESIGN.md "Threading model"):
+//  * Determinism: `parallel_for` splits [begin, end) into fixed chunks that
+//    depend only on the range, the grain and the configured thread count --
+//    never on scheduling. Each index is processed by exactly one chunk, so
+//    any kernel whose chunks touch disjoint output rows is bit-for-bit
+//    reproducible for *any* thread count.
+//  * Exact serial path: with an effective thread count of 1 (or a range
+//    smaller than one grain) the body runs inline on the caller's thread;
+//    the pool machinery is never touched.
+//  * Exception propagation: the first exception thrown by any chunk is
+//    captured and rethrown on the calling thread once the region finishes;
+//    the pool remains usable afterwards.
+//  * No nested parallelism: a `parallel_for` issued from inside a worker
+//    runs inline (serial), so kernels can parallelise unconditionally.
+//
+// The effective thread count defaults to the `DARNET_THREADS` environment
+// variable, falling back to `std::thread::hardware_concurrency()`; it can
+// be overridden programmatically with `set_thread_count` (tests, benches).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace darnet::parallel {
+
+/// Chunked range body: invoked as body(chunk_begin, chunk_end).
+using RangeBody = std::function<void(std::int64_t, std::int64_t)>;
+
+/// A fixed-size pool of helper threads executing chunked index ranges.
+/// The calling thread always participates, so a pool with W workers gives
+/// W+1-way concurrency. Thread-safe: concurrent for_range calls from
+/// different threads are serialised.
+class ThreadPool {
+ public:
+  /// Spawn `workers` helper threads (0 is valid: everything runs inline).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  /// Total concurrency (workers + the calling thread).
+  [[nodiscard]] int concurrency() const noexcept { return workers() + 1; }
+
+  /// Execute body over [begin, end) in chunks of at least `grain` indices.
+  /// Blocks until every chunk has run; rethrows the first chunk exception.
+  void for_range(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const RangeBody& body);
+
+ private:
+  struct Region;  // one active for_range
+
+  void worker_loop();
+  static void run_chunks(Region& region);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                  // guards region_/epoch_/pending_/stop_
+  std::condition_variable wake_;   // workers wait here for a new region
+  std::condition_variable done_;   // caller waits here for completion
+  Region* region_{nullptr};
+  std::uint64_t epoch_{0};
+  int pending_{0};  // workers still draining the current region
+  bool stop_{false};
+
+  std::mutex submit_mu_;  // serialises concurrent for_range callers
+};
+
+/// Effective thread count: `set_thread_count` override if any, else the
+/// `DARNET_THREADS` environment variable, else hardware concurrency.
+/// Always >= 1.
+[[nodiscard]] int thread_count() noexcept;
+
+/// Override the effective thread count (and resize the global pool).
+/// Intended for tests and benches; not safe to call concurrently with
+/// in-flight parallel_for regions on other threads.
+void set_thread_count(int count);
+
+/// True while the current thread is executing a parallel_for chunk (used
+/// to run nested regions inline).
+[[nodiscard]] bool in_parallel_region() noexcept;
+
+/// The shared process-wide pool, sized to thread_count() - 1 workers.
+/// Created lazily on first use.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Run body(chunk_begin, chunk_end) over [begin, end) on the global pool.
+/// `grain` is the minimum chunk size; chunks are additionally sized so
+/// each thread gets a handful of chunks (dynamic load balancing without
+/// tiny chunks). Serial (inline) when the effective thread count is 1,
+/// when called from inside another region, or when the range fits one
+/// grain.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const RangeBody& body);
+
+}  // namespace darnet::parallel

@@ -3,13 +3,126 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/pool.hpp"
+
 namespace darnet::tensor {
 
 namespace {
+
 void require(bool cond, const char* what) {
   if (!cond) throw std::invalid_argument(what);
 }
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM micro-kernels.
+//
+// Every kernel accumulates each output element over k in strictly ascending
+// order starting from the element's current value, which is exactly the
+// order the original single-threaded ikj loop used. Register tiles are
+// initialised *from C* and swept over the full k extent (no k-splitting),
+// so partial sums are never regrouped: results are bit-for-bit identical to
+// the serial seed kernels for any thread count. Parallelism shards output
+// rows, which are disjoint, so scheduling cannot affect results either.
+//
+// The former `if (aik == 0.0f) continue;` zero-skip branches are gone: they
+// only fire for exactly-zero weights (essentially never after the first
+// optimizer step) and defeat vectorisation of the inner loop. Adding the
+// skipped `0.0f * b` terms is a bitwise no-op: an accumulator can never be
+// -0.0 (IEEE addition only yields -0.0 when both operands are -0.0), so
+// `acc + (+/-0.0)` leaves it unchanged.
+// ---------------------------------------------------------------------------
+
+/// One C row tile: c[j..j+NR) += sum_k a[k] * b[k][j..j+NR).
+template <int NR>
+inline void tile_row1(const float* a, const float* pb, float* c, int k, int n,
+                      int j) {
+  float acc[NR];
+  for (int u = 0; u < NR; ++u) acc[u] = c[j + u];
+  for (int kk = 0; kk < k; ++kk) {
+    const float* b = pb + static_cast<std::size_t>(kk) * n + j;
+    const float x = a[kk];
+    for (int u = 0; u < NR; ++u) acc[u] += x * b[u];
+  }
+  for (int u = 0; u < NR; ++u) c[j + u] = acc[u];
+}
+
+/// Four C rows at once: 4x the reuse of each loaded B row.
+template <int NR>
+inline void tile_row4(const float* a0, const float* a1, const float* a2,
+                      const float* a3, const float* pb, float* c0, float* c1,
+                      float* c2, float* c3, int k, int n, int j) {
+  float r0[NR], r1[NR], r2[NR], r3[NR];
+  for (int u = 0; u < NR; ++u) {
+    r0[u] = c0[j + u];
+    r1[u] = c1[j + u];
+    r2[u] = c2[j + u];
+    r3[u] = c3[j + u];
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const float* b = pb + static_cast<std::size_t>(kk) * n + j;
+    const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+    for (int u = 0; u < NR; ++u) {
+      const float bv = b[u];
+      r0[u] += x0 * bv;
+      r1[u] += x1 * bv;
+      r2[u] += x2 * bv;
+      r3[u] += x3 * bv;
+    }
+  }
+  for (int u = 0; u < NR; ++u) {
+    c0[j + u] = r0[u];
+    c1[j + u] = r1[u];
+    c2[j + u] = r2[u];
+    c3[j + u] = r3[u];
+  }
+}
+
+/// Minimum per-chunk flop count before a GEMM row range is worth shipping
+/// to the pool (amortises wake-up latency).
+constexpr std::int64_t kChunkFlops = 1 << 18;
+
+/// Row-sharding grain for an (k x n)-wide GEMM.
+inline std::int64_t gemm_grain(int k, int n) {
+  const std::int64_t row_flops =
+      2 * static_cast<std::int64_t>(k) * std::max(n, 1);
+  return std::max<std::int64_t>(1, kChunkFlops / std::max<std::int64_t>(
+                                                     1, row_flops));
+}
+
 }  // namespace
+
+void gemm_rows_serial(const float* a, const float* b, float* c,
+                      std::int64_t i0, std::int64_t i1, int k, int n) {
+  std::int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + static_cast<std::size_t>(i) * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+      tile_row4<16>(a0, a1, a2, a3, b, c0, c1, c2, c3, k, n, j);
+    }
+    for (; j + 4 <= n; j += 4) {
+      tile_row4<4>(a0, a1, a2, a3, b, c0, c1, c2, c3, k, n, j);
+    }
+    for (; j < n; ++j) {
+      tile_row4<1>(a0, a1, a2, a3, b, c0, c1, c2, c3, k, n, j);
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    int j = 0;
+    for (; j + 16 <= n; j += 16) tile_row1<16>(arow, b, crow, k, n, j);
+    for (; j + 4 <= n; j += 4) tile_row1<4>(arow, b, crow, k, n, j);
+    for (; j < n; ++j) tile_row1<1>(arow, b, crow, k, n, j);
+  }
+}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
@@ -28,16 +141,10 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // ikj loop order: unit-stride inner loop over both B and C rows.
-  for (int i = 0; i < m; ++i) {
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = pa[static_cast<std::size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  parallel::parallel_for(0, m, gemm_grain(k, n),
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           gemm_rows_serial(pa, pb, pc, i0, i1, k, n);
+                         });
 }
 
 Tensor matmul_bt(const Tensor& a, const Tensor& bt) {
@@ -45,6 +152,15 @@ Tensor matmul_bt(const Tensor& a, const Tensor& bt) {
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   require(bt.dim(1) == k, "matmul_bt: inner dims mismatch");
   Tensor c({m, n});
+  const std::int64_t flops = 2LL * m * k * n;
+  if (flops >= 32768) {
+    // Materialise B = Bt^T once and run the blocked kernel. Each output
+    // element still accumulates over k in ascending order from 0, so this
+    // is bit-for-bit the same as the direct dot-product loop below.
+    const Tensor b = transpose(bt);
+    matmul_accumulate(a, b, c);
+    return c;
+  }
   const float* pa = a.data();
   const float* pb = bt.data();
   float* pc = c.data();
@@ -65,6 +181,14 @@ Tensor matmul_at(const Tensor& at, const Tensor& b) {
   const int k = at.dim(0), m = at.dim(1), n = b.dim(1);
   require(b.dim(0) == k, "matmul_at: inner dims mismatch");
   Tensor c({m, n});
+  const std::int64_t flops = 2LL * m * k * n;
+  if (flops >= 32768) {
+    // Materialise A = At^T and run the blocked kernel; per-element
+    // accumulation order (ascending k from 0) matches the direct loop.
+    const Tensor a = transpose(at);
+    matmul_accumulate(a, b, c);
+    return c;
+  }
   const float* pa = at.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -73,7 +197,6 @@ Tensor matmul_at(const Tensor& at, const Tensor& b) {
     const float* brow = pb + static_cast<std::size_t>(kk) * n;
     for (int i = 0; i < m; ++i) {
       const float aki = arow[i];
-      if (aki == 0.0f) continue;
       float* crow = pc + static_cast<std::size_t>(i) * n;
       for (int j = 0; j < n; ++j) crow[j] += aki * brow[j];
     }
@@ -144,19 +267,26 @@ Tensor softmax_rows(const Tensor& logits) {
   require(logits.rank() == 2, "softmax_rows: rank-2 required");
   const int n = logits.dim(0), c = logits.dim(1);
   Tensor out({n, c});
-  for (int i = 0; i < n; ++i) {
-    const float* row = logits.data() + static_cast<std::size_t>(i) * c;
-    float* orow = out.data() + static_cast<std::size_t>(i) * c;
-    float mx = row[0];
-    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int j = 0; j < c; ++j) orow[j] *= inv;
-  }
+  const float* in = logits.data();
+  float* o = out.data();
+  // Rows are independent; sharding them over the pool is bit-exact.
+  parallel::parallel_for(
+      0, n, std::max(1, 4096 / std::max(1, c)),
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+          const float* row = in + static_cast<std::size_t>(i) * c;
+          float* orow = o + static_cast<std::size_t>(i) * c;
+          float mx = row[0];
+          for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+          double denom = 0.0;
+          for (int j = 0; j < c; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            denom += orow[j];
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (int j = 0; j < c; ++j) orow[j] *= inv;
+        }
+      });
   return out;
 }
 
@@ -164,8 +294,21 @@ Tensor transpose(const Tensor& t) {
   require(t.rank() == 2, "transpose: rank-2 required");
   const int m = t.dim(0), n = t.dim(1);
   Tensor out({n, m});
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) out.at(j, i) = t.at(i, j);
+  const float* in = t.data();
+  float* o = out.data();
+  // Tiled to keep both access patterns cache-resident.
+  constexpr int kTile = 32;
+  for (int i0 = 0; i0 < m; i0 += kTile) {
+    const int i1 = std::min(m, i0 + kTile);
+    for (int j0 = 0; j0 < n; j0 += kTile) {
+      const int j1 = std::min(n, j0 + kTile);
+      for (int i = i0; i < i1; ++i) {
+        for (int j = j0; j < j1; ++j) {
+          o[static_cast<std::size_t>(j) * m + i] =
+              in[static_cast<std::size_t>(i) * n + j];
+        }
+      }
+    }
   }
   return out;
 }

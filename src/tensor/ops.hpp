@@ -1,7 +1,16 @@
 // Numeric kernels over Tensors. All functions are pure (outputs returned or
 // written to caller-provided tensors); hot paths are written over raw float
-// pointers for auto-vectorisation on a single core.
+// pointers for auto-vectorisation, register-tiled for cache reuse, and
+// row-sharded across the parallel::ThreadPool.
+//
+// Determinism contract: every kernel accumulates each output element in the
+// same (ascending-k) order as the original serial implementation and shards
+// only disjoint output rows, so results are bit-for-bit identical to the
+// single-threaded seed kernels for *any* DARNET_THREADS value. See
+// DESIGN.md "Threading model".
 #pragma once
+
+#include <cstdint>
 
 #include "tensor/tensor.hpp"
 
@@ -12,6 +21,13 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C += A(MxK) * B(KxN), accumulating into an existing tensor.
 void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Serial building block behind matmul: C rows [i0, i1) += A * B over raw
+/// row-major buffers (A is MxK, B is KxN, C is MxN). Exposed so other
+/// modules (e.g. the im2col convolution) can drive the same register-tiled
+/// kernel with their own sharding strategy.
+void gemm_rows_serial(const float* a, const float* b, float* c,
+                      std::int64_t i0, std::int64_t i1, int k, int n);
 
 /// C = A(MxK) * B(NxK)^T -- the backward-friendly layout.
 Tensor matmul_bt(const Tensor& a, const Tensor& b_transposed);
