@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < preds.size(); ++i) {
       if (preds[i] == y_eval[i]) ++correct;
     }
-    const double acc = static_cast<double>(correct) / preds.size();
+    const double acc = static_cast<double>(correct) / static_cast<double>(preds.size());
     best = std::max(best, acc);
     if (w == 0.0) none = acc;
     if (w == 1.5) huge = acc;

@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < preds.size(); ++i) {
       if (preds[i] == split.eval.labels[i]) ++correct;
     }
-    return static_cast<double>(correct) / preds.size();
+    return static_cast<double>(correct) / static_cast<double>(preds.size());
   };
 
   const std::vector<Tensor> eval_probs{
@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
                  util::fmt_pct(three_weak_acc)});
   table.add_row({"grip sensor alone (3 classes)",
                  util::fmt_pct(static_cast<double>(grip_correct) /
-                               grip_preds.size()),
+                               static_cast<double>(grip_preds.size())),
                  "--"});
   std::cout << "Extension E1 -- adding a modality without retraining ("
             << split.eval.size() << " eval samples):\n"

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   }
   const double live_acc =
       results.empty() ? 0.0
-                      : static_cast<double>(correct) / results.size();
+                      : static_cast<double>(correct) / static_cast<double>(results.size());
 
   util::Table table({"Metric", "Value"});
   table.add_row({"session length", util::fmt(script.total_duration(), 0) + " s"});

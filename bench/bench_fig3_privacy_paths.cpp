@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
         {privacy::distortion_name(level),
          std::to_string(edge) + "x" + std::to_string(edge),
          std::to_string(stats.bytes_sent),
-         util::fmt(static_cast<double>(full_bytes) / stats.bytes_sent, 1) +
+         util::fmt(static_cast<double>(full_bytes) / static_cast<double>(stats.bytes_sent), 1) +
              "x",
          util::fmt(stats.mean_latency_s() * 1e3, 2) + " ms",
          paper_reduction[row]});

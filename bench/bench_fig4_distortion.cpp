@@ -58,7 +58,7 @@ int main() {
         std::to_string(tagged.image.height());
     table.add_row({privacy::distortion_name(level), name,
                    std::to_string(bytes),
-                   util::fmt(static_cast<double>(full_bytes) / bytes, 1) + "x",
+                   util::fmt(static_cast<double>(full_bytes) / static_cast<double>(bytes), 1) + "x",
                    util::fmt(loss, 1)});
 
     const std::string path =

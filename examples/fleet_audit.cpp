@@ -78,9 +78,12 @@ int main(int argc, char** argv) {
       if (r.predicted == 1 || r.predicted == 2) ++phone;
       if (r.actual != 0) ++truly_distracted;
     }
-    const double n = std::max<std::size_t>(1, results.size());
+    const double n =
+        static_cast<double>(std::max<std::size_t>(1, results.size()));
     reports.push_back({"driver-" + std::to_string(d + 1),
-                       truly_distracted / n, distracted / n, phone / n,
+                       static_cast<double>(truly_distracted) / n,
+                       static_cast<double>(distracted) / n,
+                       static_cast<double>(phone) / n,
                        results.size()});
     std::cout << "  streamed " << results.size() << " classified steps for "
               << reports.back().name << "\n";

@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
         static_cast<double>(privacy::wire_bytes(
             privacy::DistortionModule(privacy::DistortionLevel::kNone)
                 .process(exemplar))) /
-        privacy::wire_bytes(tagged);
+        static_cast<double>(privacy::wire_bytes(tagged));
     table.add_row({privacy::distortion_name(level),
                    std::to_string(tagged.image.width()) + "x" +
                        std::to_string(tagged.image.height()),

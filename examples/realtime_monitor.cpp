@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
 
   const double acc =
       results.empty() ? 0.0
-                      : static_cast<double>(correct) / results.size();
+                      : static_cast<double>(correct) / static_cast<double>(results.size());
   std::cout << "\nSummary: " << results.size()
             << " classifications, smoothed Top-1 " << util::fmt_pct(acc)
             << ", " << alerts << " alert episodes (debounce " << alert_streak

@@ -1,0 +1,113 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace darnet::check {
+
+void fail(const char* expr, const char* file, int line,
+          const std::string& message) noexcept {
+  // One atomic-ish write so death tests and interleaved CI logs see a
+  // single coherent line.
+  std::ostringstream out;
+  out << "darnet::check failure: " << expr;
+  if (!message.empty()) out << " -- " << message;
+  out << " [" << file << ':' << line << "]\n";
+  const std::string text = out.str();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+bool all_finite(std::span<const float> values) noexcept {
+  for (const float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> first_nonfinite(
+    std::span<const float> values) noexcept {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) return i;
+  }
+  return std::nullopt;
+}
+
+void assert_all_finite(std::span<const float> values, const char* what,
+                       const std::string& context) {
+  const auto bad = first_nonfinite(values);
+  if (!bad) return;
+  std::ostringstream msg;
+  msg << "non-finite value " << values[*bad] << " at flat index " << *bad
+      << " of " << values.size();
+  if (!context.empty()) msg << " in " << context;
+  fail(what, "darnet::check::assert_all_finite", 0, msg.str());
+}
+
+void ShardWriteTracker::record(std::int64_t begin, std::int64_t end) {
+  if (begin >= end) {
+    std::ostringstream msg;
+    msg << what_ << ": empty or inverted shard [" << begin << ", " << end
+        << ")";
+    fail("shard begin < end", "darnet::check::ShardWriteTracker", 0,
+         msg.str());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::pair<std::int64_t, std::int64_t> range{begin, end};
+  const auto it = std::lower_bound(ranges_.begin(), ranges_.end(), range);
+  // Overlap iff the predecessor ends after `begin` or the successor starts
+  // before `end`.
+  const auto overlaps = [&](const std::pair<std::int64_t, std::int64_t>& r) {
+    return r.first < end && begin < r.second;
+  };
+  const std::pair<std::int64_t, std::int64_t>* clash = nullptr;
+  if (it != ranges_.begin() && overlaps(*std::prev(it))) {
+    clash = &*std::prev(it);
+  } else if (it != ranges_.end() && overlaps(*it)) {
+    clash = &*it;
+  }
+  if (clash != nullptr) {
+    std::ostringstream msg;
+    msg << what_ << ": writer shard [" << begin << ", " << end
+        << ") overlaps previously recorded shard [" << clash->first << ", "
+        << clash->second << ")";
+    fail("disjoint writer shards", "darnet::check::ShardWriteTracker", 0,
+         msg.str());
+  }
+  ranges_.insert(it, range);
+}
+
+std::int64_t ShardWriteTracker::covered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [b, e] : ranges_) total += e - b;
+  return total;
+}
+
+void ShardWriteTracker::expect_exact_cover(std::int64_t begin,
+                                           std::int64_t end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t cursor = begin;
+  bool exact = true;
+  for (const auto& [b, e] : ranges_) {
+    if (b != cursor) {
+      exact = false;
+      break;
+    }
+    cursor = e;
+  }
+  exact = exact && cursor == end;
+  if (!exact) {
+    std::ostringstream msg;
+    msg << what_ << ": recorded shards do not exactly tile [" << begin
+        << ", " << end << ")";
+    fail("exact shard cover", "darnet::check::ShardWriteTracker", 0,
+         msg.str());
+  }
+}
+
+}  // namespace darnet::check

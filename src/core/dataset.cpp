@@ -185,8 +185,9 @@ TrainEvalSplit split_dataset(const Dataset& data, double train_fraction,
   rng.shuffle(order);
 
   const auto cut = std::max<std::size_t>(
-      1, std::min(n - 1, static_cast<std::size_t>(
-                             std::lround(train_fraction * n))));
+      1, std::min(n - 1,
+                  static_cast<std::size_t>(std::lround(
+                      train_fraction * static_cast<double>(n)))));
   TrainEvalSplit result;
   result.train = take_rows(
       data, std::span<const std::size_t>(order.data(), cut));

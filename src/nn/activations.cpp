@@ -40,6 +40,19 @@ Tensor Flatten::forward(const Tensor& input, bool training) {
   return input.reshaped({input.dim(0), rest});
 }
 
+ShapeContract Flatten::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (input_shape.size() < 2) {
+    return ShapeContract::bad("Flatten expects rank >= 2, got rank " +
+                              std::to_string(input_shape.size()));
+  }
+  int rest = 1;
+  for (std::size_t i = 1; i < input_shape.size(); ++i) {
+    rest *= input_shape[i];
+  }
+  return ShapeContract::ok({input_shape[0], rest});
+}
+
 Tensor Flatten::backward(const Tensor& grad_output) {
   if (cached_shape_.empty()) {
     throw std::logic_error("Flatten::backward before forward");

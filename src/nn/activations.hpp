@@ -11,6 +11,10 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override {
+    return ShapeContract::ok(input_shape);  // elementwise: shape-preserving
+  }
 
  private:
   Tensor mask_;  // 1 where input > 0
@@ -22,6 +26,8 @@ class Flatten final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
 
  private:
   std::vector<int> cached_shape_;
@@ -35,6 +41,10 @@ class Dropout final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override {
+    return ShapeContract::ok(input_shape);  // elementwise: shape-preserving
+  }
 
  private:
   double p_;

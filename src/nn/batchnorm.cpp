@@ -56,6 +56,18 @@ void BatchNorm::check_input(const Tensor& input) const {
   }
 }
 
+ShapeContract BatchNorm::shape_contract(
+    const std::vector<int>& input_shape) const {
+  const bool ok = (input_shape.size() == 2 || input_shape.size() == 4) &&
+                  input_shape[1] == features_;
+  if (!ok) {
+    return ShapeContract::bad(
+        "BatchNorm expects [N, " + std::to_string(features_) +
+        "] or NCHW with C=" + std::to_string(features_));
+  }
+  return ShapeContract::ok(input_shape);  // normalisation preserves shape
+}
+
 Tensor BatchNorm::forward(const Tensor& input, bool training) {
   check_input(input);
   const std::size_t per_channel = input.numel() / features_;

@@ -19,6 +19,9 @@ class BatchNorm final : public Layer {
 
   [[nodiscard]] int features() const noexcept { return features_; }
 
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
+
  private:
   /// View any supported input as [N*spatial, C] slices: returns the per-
   /// element channel index layout parameters.

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/check.hpp"
 #include "parallel/pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -55,6 +56,26 @@ void Conv2D::validate_input(const Tensor& input) const {
   if (h + 2 * pad_ - k_ + 1 <= 0 || w + 2 * pad_ - k_ + 1 <= 0) {
     throw std::invalid_argument("Conv2D::forward: kernel larger than input");
   }
+}
+
+ShapeContract Conv2D::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (input_shape.size() != 4) {
+    return ShapeContract::bad("Conv2D expects rank-4 NCHW input, got rank " +
+                              std::to_string(input_shape.size()));
+  }
+  if (input_shape[1] != in_ch_) {
+    return ShapeContract::bad("Conv2D expects C=" + std::to_string(in_ch_) +
+                              " input channels, got " +
+                              std::to_string(input_shape[1]));
+  }
+  const int oh = input_shape[2] + 2 * pad_ - k_ + 1;
+  const int ow = input_shape[3] + 2 * pad_ - k_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    return ShapeContract::bad("Conv2D kernel " + std::to_string(k_) +
+                              " larger than padded input plane");
+  }
+  return ShapeContract::ok({input_shape[0], out_ch_, oh, ow});
 }
 
 Tensor Conv2D::forward(const Tensor& input, bool training) {
@@ -178,8 +199,16 @@ Tensor Conv2D::run_forward(const Tensor& input) const {
 
   const std::int64_t flops =
       2LL * out_ch_ * patch * static_cast<std::int64_t>(pixels);
+#ifdef DARNET_CHECKED
+  // Checked builds: batch shards must write disjoint images covering the
+  // batch exactly.
+  check::ShardWriteTracker tracker("Conv2D::forward batch images");
+#endif
   parallel::parallel_for(
       0, n, image_grain(flops), [&](std::int64_t i0, std::int64_t i1) {
+#ifdef DARNET_CHECKED
+        tracker.record(i0, i1);
+#endif
         std::vector<float> col;
         if (gemm) col.resize(static_cast<std::size_t>(patch) * pixels);
         for (std::int64_t img = i0; img < i1; ++img) {
@@ -197,6 +226,9 @@ Tensor Conv2D::run_forward(const Tensor& input) const {
           }
         }
       });
+#ifdef DARNET_CHECKED
+  tracker.expect_exact_cover(0, n);
+#endif
   return out;
 }
 

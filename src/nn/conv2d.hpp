@@ -35,6 +35,9 @@ class Conv2D final : public Layer {
   /// output plane size. Exposed for tests that pin the dispatch heuristic.
   [[nodiscard]] bool use_gemm(int oh, int ow) const noexcept;
 
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
+
  private:
   void validate_input(const Tensor& input) const;
   Tensor run_forward(const Tensor& input) const;

@@ -22,6 +22,21 @@ void Dense::validate_input(const Tensor& input) const {
   }
 }
 
+ShapeContract Dense::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (input_shape.size() != 2) {
+    return ShapeContract::bad("Dense expects rank-2 [N, " +
+                              std::to_string(in_) + "] input, got rank " +
+                              std::to_string(input_shape.size()));
+  }
+  if (input_shape[1] != in_) {
+    return ShapeContract::bad("Dense expects " + std::to_string(in_) +
+                              " input features, got " +
+                              std::to_string(input_shape[1]));
+  }
+  return ShapeContract::ok({input_shape[0], out_});
+}
+
 Tensor Dense::affine(const Tensor& x) const {
   Tensor out = tensor::matmul(x, weight_.value);
   const int n = out.dim(0);

@@ -18,6 +18,9 @@ class Dense final : public Layer {
   [[nodiscard]] int in_features() const noexcept { return in_; }
   [[nodiscard]] int out_features() const noexcept { return out_; }
 
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
+
  private:
   /// y = x W + b without touching the cache.
   Tensor affine(const Tensor& x) const;

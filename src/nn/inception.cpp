@@ -14,6 +14,45 @@ ParallelConcat& ParallelConcat::add_branch(LayerPtr branch) {
   return *this;
 }
 
+ShapeContract ParallelConcat::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (branches_.empty()) {
+    return ShapeContract::bad("ParallelConcat has no branches");
+  }
+  if (input_shape.size() != 4) {
+    return ShapeContract::bad(
+        "ParallelConcat expects rank-4 NCHW input, got rank " +
+        std::to_string(input_shape.size()));
+  }
+  int total_ch = 0;
+  int oh = -1;
+  int ow = -1;
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    const ShapeContract c = branches_[b]->shape_contract(input_shape);
+    if (c.kind == ShapeContract::Kind::kBad) {
+      return ShapeContract::bad("branch #" + std::to_string(b) + " (" +
+                                branches_[b]->name() + "): " + c.error);
+    }
+    if (c.kind == ShapeContract::Kind::kUnchecked) {
+      return ShapeContract::unchecked();
+    }
+    const std::vector<int>& out = c.output_shape;
+    if (out.size() != 4 || out[0] != input_shape[0]) {
+      return ShapeContract::bad("branch #" + std::to_string(b) +
+                                " does not declare NCHW output");
+    }
+    if (oh < 0) {
+      oh = out[2];
+      ow = out[3];
+    } else if (out[2] != oh || out[3] != ow) {
+      return ShapeContract::bad(
+          "branches declare disagreeing spatial sizes");
+    }
+    total_ch += out[1];
+  }
+  return ShapeContract::ok({input_shape[0], total_ch, oh, ow});
+}
+
 Tensor ParallelConcat::forward(const Tensor& input, bool training) {
   if (branches_.empty()) {
     throw std::logic_error("ParallelConcat: no branches");

@@ -29,6 +29,12 @@ class ParallelConcat final : public Layer {
     return branches_.size();
   }
 
+  /// Folds the branch contracts: kOk when every branch declares an output
+  /// with matching batch/spatial dims (output channels are summed);
+  /// kUnchecked as soon as any branch declines to declare.
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
+
  private:
   std::vector<LayerPtr> branches_;
   std::vector<int> branch_channels_;  // from last forward

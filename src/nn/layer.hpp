@@ -28,6 +28,33 @@ struct Param {
   void zero_grad() noexcept { grad.zero(); }
 };
 
+/// The shape contract a layer declares for checked builds: given an input
+/// shape, a layer either states the exact output shape it will produce
+/// (kOk), reports why the input violates its contract (kBad), or declines
+/// to declare one (kUnchecked). Sequential verifies declared contracts at
+/// every layer boundary per step when compiled with DARNET_CHECKED.
+struct ShapeContract {
+  enum class Kind { kUnchecked, kOk, kBad };
+
+  Kind kind{Kind::kUnchecked};
+  std::vector<int> output_shape;  // valid when kind == kOk
+  std::string error;              // valid when kind == kBad
+
+  static ShapeContract unchecked() { return {}; }
+  static ShapeContract ok(std::vector<int> out) {
+    ShapeContract c;
+    c.kind = Kind::kOk;
+    c.output_shape = std::move(out);
+    return c;
+  }
+  static ShapeContract bad(std::string why) {
+    ShapeContract c;
+    c.kind = Kind::kBad;
+    c.error = std::move(why);
+    return c;
+  }
+};
+
 /// Base class for all layers. forward() must be called before backward();
 /// backward() consumes the gradient w.r.t. the layer output and returns the
 /// gradient w.r.t. the layer input, accumulating parameter gradients.
@@ -56,6 +83,15 @@ class Layer {
   /// Learnable parameters (empty for stateless layers). Pointers remain
   /// valid for the lifetime of the layer.
   virtual std::vector<Param*> params() { return {}; }
+
+  /// Declared in/out shape contract for `input_shape`, verified by
+  /// Sequential at every layer boundary in checked builds. The default
+  /// declines to declare one; concrete layers override.
+  [[nodiscard]] virtual ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const {
+    (void)input_shape;
+    return ShapeContract::unchecked();
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

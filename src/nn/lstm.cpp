@@ -137,6 +137,15 @@ void BiLstm::run_direction(const Tensor& input, const LstmDirection& dir,
   }
 }
 
+ShapeContract BiLstm::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (input_shape.size() != 3 || input_shape[2] != input_dim_) {
+    return ShapeContract::bad("BiLstm expects [N, T, " +
+                              std::to_string(input_dim_) + "] input");
+  }
+  return ShapeContract::ok({input_shape[0], input_shape[1], 2 * hidden_});
+}
+
 Tensor BiLstm::forward(const Tensor& input, bool training) {
   if (input.rank() != 3 || input.dim(2) != input_dim_) {
     throw std::invalid_argument("BiLstm::forward: expected [N, T, " +
@@ -275,6 +284,16 @@ Tensor BiLstm::backward(const Tensor& grad_output) {
 
 std::vector<Param*> BiLstm::params() {
   return {&fwd_.wx, &fwd_.wh, &fwd_.b, &bwd_.wx, &bwd_.wh, &bwd_.b};
+}
+
+ShapeContract TemporalMeanPool::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (input_shape.size() != 3) {
+    return ShapeContract::bad(
+        "TemporalMeanPool expects [N, T, F] input, got rank " +
+        std::to_string(input_shape.size()));
+  }
+  return ShapeContract::ok({input_shape[0], input_shape[2]});
 }
 
 Tensor TemporalMeanPool::forward(const Tensor& input, bool training) {

@@ -37,6 +37,9 @@ class BiLstm final : public Layer {
 
   [[nodiscard]] int hidden_dim() const noexcept { return hidden_; }
 
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
+
  private:
   struct DirectionTrace {
     // Per-timestep activations cached for BPTT, each [N, H].
@@ -70,6 +73,8 @@ class TemporalMeanPool final : public Layer {
   [[nodiscard]] std::string name() const override {
     return "TemporalMeanPool";
   }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
 
  private:
   std::vector<int> input_shape_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace darnet::nn {
 
 Sgd::Sgd(double lr, double momentum, double weight_decay)
@@ -32,6 +34,8 @@ void Sgd::step(const std::vector<Param*>& params) {
       w[j] -= lr * (v[j] + wd * w[j]);
       g[j] = 0.0f;
     }
+    DARNET_CHECK_FINITE(p.value.flat(),
+                        "Sgd::step updated param #" + std::to_string(i));
   }
 }
 
@@ -72,6 +76,8 @@ void Adam::step(const std::vector<Param*>& params) {
       w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
       g[j] = 0.0f;
     }
+    DARNET_CHECK_FINITE(p.value.flat(),
+                        "Adam::step updated param #" + std::to_string(i));
   }
 }
 

@@ -8,6 +8,23 @@ void check_nchw(const Tensor& input, const char* who) {
     throw std::invalid_argument(std::string(who) + ": NCHW input required");
   }
 }
+
+/// Shared contract for the non-overlapping (kernel == stride) poolers.
+ShapeContract pool_contract(const std::vector<int>& in, int k,
+                            const char* who) {
+  if (in.size() != 4) {
+    return ShapeContract::bad(std::string(who) +
+                              " expects rank-4 NCHW input, got rank " +
+                              std::to_string(in.size()));
+  }
+  if (in[2] % k != 0 || in[3] % k != 0) {
+    return ShapeContract::bad(std::string(who) + " expects H and W (" +
+                              std::to_string(in[2]) + "x" +
+                              std::to_string(in[3]) +
+                              ") divisible by kernel " + std::to_string(k));
+  }
+  return ShapeContract::ok({in[0], in[1], in[2] / k, in[3] / k});
+}
 }  // namespace
 
 MaxPool2D::MaxPool2D(int kernel) : k_(kernel) {
@@ -184,6 +201,26 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
     }
   }
   return grad_in;
+}
+
+ShapeContract MaxPool2D::shape_contract(
+    const std::vector<int>& input_shape) const {
+  return pool_contract(input_shape, k_, "MaxPool2D");
+}
+
+ShapeContract AvgPool2D::shape_contract(
+    const std::vector<int>& input_shape) const {
+  return pool_contract(input_shape, k_, "AvgPool2D");
+}
+
+ShapeContract GlobalAvgPool::shape_contract(
+    const std::vector<int>& input_shape) const {
+  if (input_shape.size() != 4) {
+    return ShapeContract::bad(
+        "GlobalAvgPool expects rank-4 NCHW input, got rank " +
+        std::to_string(input_shape.size()));
+  }
+  return ShapeContract::ok({input_shape[0], input_shape[1]});
 }
 
 }  // namespace darnet::nn

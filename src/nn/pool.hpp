@@ -14,6 +14,8 @@ class MaxPool2D final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
 
  private:
   int k_;
@@ -30,6 +32,8 @@ class AvgPool2D final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "AvgPool2D"; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
 
  private:
   int k_;
@@ -42,6 +46,8 @@ class GlobalAvgPool final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
 
  private:
   std::vector<int> input_shape_;

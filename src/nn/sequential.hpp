@@ -23,6 +23,13 @@ class Sequential final : public Layer {
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }
 
+  /// Folds the per-layer contracts front to back: kOk with the final
+  /// output shape when every layer declares one, kBad (with layer
+  /// attribution) on the first violated contract, kUnchecked as soon as a
+  /// layer declines to declare.
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& input_shape) const override;
+
   [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
 
@@ -35,7 +42,19 @@ class Sequential final : public Layer {
   void load_params(util::BinaryReader& reader);
 
  private:
+#ifdef DARNET_CHECKED
+  /// Checked builds only: verify layer i's declared contract against the
+  /// observed input/output shapes and finite-guard the produced activation.
+  void verify_boundary(std::size_t i, const std::vector<int>& in_shape,
+                       const Tensor& output) const;
+#endif
+
   std::vector<LayerPtr> layers_;
+#ifdef DARNET_CHECKED
+  /// Input shape seen by each layer in the last forward pass; backward
+  /// asserts each layer's input-gradient matches it.
+  std::vector<std::vector<int>> checked_in_shapes_;
+#endif
 };
 
 /// Zero all parameter gradients of any layer tree.

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "check/check.hpp"
 #include "nn/loss.hpp"
 #include "nn/sequential.hpp"
 #include "parallel/pool.hpp"
@@ -119,8 +120,16 @@ double step_sharded(Layer& model, const std::vector<Param*>& params,
   }
 
   std::vector<double> shard_loss(static_cast<std::size_t>(s_eff), 0.0);
+#ifdef DARNET_CHECKED
+  // Checked builds: every shard (model replica + loss slot) must be
+  // claimed by exactly one chunk, and together they cover [0, s_eff).
+  check::ShardWriteTracker tracker("step_sharded replica shards");
+#endif
   parallel::parallel_for(
       0, s_eff, /*grain=*/1, [&](std::int64_t s0, std::int64_t s1) {
+#ifdef DARNET_CHECKED
+        tracker.record(s0, s1);
+#endif
         for (std::int64_t s = s0; s < s1; ++s) {
           const std::size_t b = shard_begin(static_cast<int>(s));
           const std::size_t e = shard_begin(static_cast<int>(s) + 1);
@@ -133,6 +142,9 @@ double step_sharded(Layer& model, const std::vector<Param*>& params,
           shard_loss[static_cast<std::size_t>(s)] = lr.loss;
         }
       });
+#ifdef DARNET_CHECKED
+  tracker.expect_exact_cover(0, s_eff);
+#endif
 
   // Fixed-order weighted reduction: grad = sum_s (n_s / n_b) * grad_s.
   // Shard losses/grads are means over the shard, so the weights recover the

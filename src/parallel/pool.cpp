@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace darnet::parallel {
 
 namespace {
@@ -54,6 +56,11 @@ struct ThreadPool::Region {
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr error;
+#ifdef DARNET_CHECKED
+  /// Chunk accounting (checked builds): every chunk claimed must be
+  /// executed exactly once; on clean completion executed == nchunks.
+  std::atomic<std::int64_t> executed{0};
+#endif
 };
 
 ThreadPool::ThreadPool(int workers) {
@@ -85,6 +92,11 @@ void ThreadPool::run_chunks(Region& region) {
     }
     const std::int64_t b = region.begin + c * region.chunk;
     const std::int64_t e = std::min(region.end, b + region.chunk);
+    DARNET_CHECK_MSG(b >= region.begin && b < e && e <= region.end,
+                     "ThreadPool::run_chunks: chunk bounds escape the region");
+#ifdef DARNET_CHECKED
+    region.executed.fetch_add(1, std::memory_order_relaxed);
+#endif
     try {
       (*region.body)(b, e);
     } catch (...) {
@@ -107,6 +119,8 @@ void ThreadPool::worker_loop() {
       seen = epoch_;
       region = region_;
     }
+    DARNET_CHECK_MSG(region != nullptr,
+                     "ThreadPool::worker_loop: woken without a region");
     run_chunks(*region);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -144,6 +158,9 @@ void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DARNET_CHECK_MSG(region_ == nullptr && pending_ == 0,
+                     "ThreadPool::for_range: region installed while a "
+                     "previous region is still draining");
     region_ = &region;
     pending_ = workers();
     ++epoch_;
@@ -157,6 +174,14 @@ void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
     done_.wait(lock, [&] { return pending_ == 0; });
     region_ = nullptr;
   }
+#ifdef DARNET_CHECKED
+  if (!region.failed.load(std::memory_order_relaxed)) {
+    DARNET_CHECK_MSG(
+        region.executed.load(std::memory_order_relaxed) == region.nchunks,
+        "ThreadPool::for_range: chunk accounting mismatch (some chunk ran "
+        "zero or multiple times)");
+  }
+#endif
   if (region.error) std::rethrow_exception(region.error);
 }
 
@@ -177,6 +202,8 @@ void set_thread_count(int count) {
   if (count < 1 || count > kMaxThreads) {
     throw std::invalid_argument("set_thread_count: count must be in [1, 256]");
   }
+  DARNET_CHECK_MSG(!t_in_region,
+                   "set_thread_count called from inside a parallel region");
   std::lock_guard<std::mutex> lock(g_pool_mu);
   g_thread_count.store(count, std::memory_order_release);
   g_pool.reset();  // lazily recreated at the new size

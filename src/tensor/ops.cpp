@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.hpp"
 #include "parallel/pool.hpp"
 
 namespace darnet::tensor {
@@ -141,10 +142,22 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+#ifdef DARNET_CHECKED
+  // Checked builds: every chunk writes a disjoint band of output rows and
+  // together the bands tile [0, m) exactly.
+  check::ShardWriteTracker tracker("matmul_accumulate output rows");
+  parallel::parallel_for(0, m, gemm_grain(k, n),
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           tracker.record(i0, i1);
+                           gemm_rows_serial(pa, pb, pc, i0, i1, k, n);
+                         });
+  tracker.expect_exact_cover(0, m);
+#else
   parallel::parallel_for(0, m, gemm_grain(k, n),
                          [&](std::int64_t i0, std::int64_t i1) {
                            gemm_rows_serial(pa, pb, pc, i0, i1, k, n);
                          });
+#endif
 }
 
 Tensor matmul_bt(const Tensor& a, const Tensor& bt) {

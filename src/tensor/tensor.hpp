@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 
@@ -51,8 +52,16 @@ class Tensor {
   [[nodiscard]] std::span<float> flat() noexcept { return data_; }
   [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
 
-  float& operator[](std::size_t i) noexcept { return data_[i]; }
-  float operator[](std::size_t i) const noexcept { return data_[i]; }
+  // Flat indexing. Unchecked in release builds; checked builds
+  // (DARNET_CHECKED) assert the bound and abort with attribution on OOB.
+  float& operator[](std::size_t i) noexcept {
+    DARNET_CHECK_MSG(i < data_.size(), "Tensor flat index out of range");
+    return data_[i];
+  }
+  float operator[](std::size_t i) const noexcept {
+    DARNET_CHECK_MSG(i < data_.size(), "Tensor flat index out of range");
+    return data_[i];
+  }
 
   /// Checked multi-index access (2-4 dims cover everything in DarNet).
   float& at(int i0);

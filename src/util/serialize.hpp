@@ -45,8 +45,12 @@ class BinaryWriter {
 
  private:
   void append(const void* src, std::size_t n) {
-    const auto* p = static_cast<const std::uint8_t*>(src);
-    buffer_.insert(buffer_.end(), p, p + n);
+    // resize + memcpy instead of vector::insert: identical behaviour, but
+    // GCC 12's -Wstringop-overflow mis-fires on small inlined inserts.
+    if (n == 0) return;
+    const std::size_t old = buffer_.size();
+    buffer_.resize(old + n);
+    std::memcpy(buffer_.data() + old, src, n);
   }
 
   std::vector<std::uint8_t> buffer_;

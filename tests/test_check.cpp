@@ -1,0 +1,285 @@
+// Tests for darnet::check -- the checked-build invariant layer.
+//
+// Covers four things:
+//  1. Macro semantics: conditions are evaluated exactly when DARNET_CHECKED
+//     is on, and never in unchecked builds (zero-cost proof).
+//  2. The always-on utilities: finite scanning and ShardWriteTracker,
+//     including their abort paths (death tests).
+//  3. Checked-build integration: OOB tensor indexing, Sequential
+//     shape-contract verification with layer attribution, and NaN
+//     finite-guard trips abort with a matchable diagnostic.
+//  4. Parity: the numerical results of the library are bit-identical
+//     whether or not the invariant layer is compiled in. The goldens below
+//     were recorded from an unchecked Release build; every matrix leg
+//     (checked, asan, ubsan, tsan) must reproduce them exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "check/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+#include "parallel/pool.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using darnet::nn::Dense;
+using darnet::nn::ReLU;
+using darnet::nn::Sequential;
+using darnet::nn::ShapeContract;
+using darnet::tensor::Tensor;
+
+namespace check = darnet::check;
+
+// ---------------------------------------------------------------------------
+// 1. Macro semantics.
+
+TEST(CheckMacros, ConditionEvaluationMatchesBuildMode) {
+  int calls = 0;
+  auto touch = [&calls]() {
+    ++calls;
+    return true;
+  };
+  DARNET_CHECK(touch());
+  DARNET_CHECK_MSG(touch(), "never shown");
+  if (check::enabled()) {
+    // Checked builds evaluate the condition (and pass).
+    EXPECT_EQ(calls, 2);
+  } else {
+    // Unchecked builds compile the condition into an unevaluated sizeof:
+    // zero side effects, zero cost.
+    EXPECT_EQ(calls, 0);
+  }
+}
+
+TEST(CheckMacros, EnabledMatchesCompileFlag) {
+#ifdef DARNET_CHECKED
+  EXPECT_TRUE(check::enabled());
+#else
+  EXPECT_FALSE(check::enabled());
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// 2. Always-on utilities.
+
+TEST(FiniteScan, DetectsNanAndInf) {
+  const std::vector<float> clean{0.0f, -1.5f, 3.25f};
+  EXPECT_TRUE(check::all_finite(clean));
+  EXPECT_FALSE(check::first_nonfinite(clean).has_value());
+
+  std::vector<float> bad = clean;
+  bad.push_back(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_FALSE(check::all_finite(bad));
+  ASSERT_TRUE(check::first_nonfinite(bad).has_value());
+  EXPECT_EQ(*check::first_nonfinite(bad), 3u);
+
+  bad[3] = -std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(check::all_finite(bad));
+  EXPECT_EQ(*check::first_nonfinite(bad), 3u);
+}
+
+TEST(ShardWriteTracker, AcceptsDisjointShardsAndReportsCoverage) {
+  check::ShardWriteTracker tracker("test rows");
+  tracker.record(4, 8);
+  tracker.record(0, 4);
+  tracker.record(8, 10);
+  EXPECT_EQ(tracker.covered(), 10);
+  tracker.expect_exact_cover(0, 10);  // must not abort
+}
+
+TEST(ShardWriteTrackerDeathTest, AbortsOnOverlappingWriters) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  check::ShardWriteTracker tracker("overlap rows");
+  tracker.record(0, 4);
+  EXPECT_DEATH(tracker.record(2, 6),
+               "darnet::check failure.*overlap rows.*\\[2, 6\\).*overlaps."
+               "*\\[0, 4\\)");
+}
+
+TEST(ShardWriteTrackerDeathTest, AbortsOnIncompleteCover) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  check::ShardWriteTracker tracker("gap rows");
+  tracker.record(0, 4);
+  tracker.record(6, 8);
+  EXPECT_DEATH(tracker.expect_exact_cover(0, 8),
+               "darnet::check failure.*do not exactly tile");
+}
+
+TEST(ShardWriteTrackerDeathTest, CatchesOverlapFromParallelForWriters) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A deliberately broken parallel writer: every chunk claims the same
+  // output range. The tracker must abort no matter which thread trips it.
+  // The child forces a real pool so the range actually splits into
+  // multiple chunks even on single-core CI machines.
+  auto broken_kernel = [] {
+    darnet::parallel::set_thread_count(2);
+    check::ShardWriteTracker tracker("parallel_for writer rows");
+    std::vector<float> out(64, 0.0f);
+    darnet::parallel::parallel_for(
+        0, 64, /*grain=*/1, [&](std::int64_t, std::int64_t) {
+          tracker.record(0, 8);  // overlapping on the second chunk
+          out[0] += 1.0f;
+        });
+  };
+  EXPECT_DEATH(broken_kernel(), "darnet::check failure.*overlaps");
+}
+
+TEST(FiniteGuardDeathTest, AssertAllFiniteAbortsWithAttribution) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::vector<float> values{1.0f, 2.0f,
+                            std::numeric_limits<float>::quiet_NaN(), 4.0f};
+  EXPECT_DEATH(
+      check::assert_all_finite(values, "activations", "unit-test buffer"),
+      "darnet::check failure.*non-finite value.*flat index 2 of 4.*"
+      "unit-test buffer");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Checked-build integration (death tests only exist when the library
+//    was compiled with the invariants).
+
+#ifdef DARNET_CHECKED
+
+TEST(CheckedBuildDeathTest, TensorFlatIndexOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor t({2, 2});
+  EXPECT_DEATH(t[4] = 1.0f,
+               "darnet::check failure.*Tensor flat index out of range");
+}
+
+/// Declares one output shape but produces another: only the boundary
+/// verification in Sequential can catch this class of bug.
+class LyingLayer final : public darnet::nn::Layer {
+ public:
+  Tensor forward(const Tensor& input, bool) override {
+    return Tensor({input.dim(0), 7});  // contract says width 3
+  }
+  Tensor backward(const Tensor& grad_output) override { return grad_output; }
+  [[nodiscard]] ShapeContract shape_contract(
+      const std::vector<int>& in) const override {
+    return ShapeContract::ok({in[0], 3});
+  }
+  [[nodiscard]] std::string name() const override { return "LyingLayer"; }
+};
+
+TEST(CheckedBuildDeathTest, SequentialCatchesContractViolationWithLayerName) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Sequential model;
+  model.emplace<LyingLayer>();
+  Tensor x({2, 5});
+  EXPECT_DEATH(
+      model.forward(x, /*training=*/false),
+      "darnet::check failure.*layer #0 \\(LyingLayer\\).*declared output "
+      "\\[2, 3\\] but produced \\[2, 7\\]");
+}
+
+/// Emits a NaN mid-activation; the per-boundary finite guard must trip.
+class NanLayer final : public darnet::nn::Layer {
+ public:
+  Tensor forward(const Tensor& input, bool) override {
+    Tensor out = input;
+    out[1] = std::numeric_limits<float>::quiet_NaN();
+    return out;
+  }
+  Tensor backward(const Tensor& grad_output) override { return grad_output; }
+  [[nodiscard]] std::string name() const override { return "NanLayer"; }
+};
+
+TEST(CheckedBuildDeathTest, SequentialFiniteGuardTripsOnInjectedNan) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Sequential model;
+  model.emplace<NanLayer>();
+  Tensor x({1, 4});
+  EXPECT_DEATH(model.forward(x, /*training=*/false),
+               "darnet::check failure.*non-finite value.*NanLayer");
+}
+
+#endif  // DARNET_CHECKED
+
+// ---------------------------------------------------------------------------
+// Shape contracts are pure declarations; they must agree across build
+// modes, so these run everywhere.
+
+TEST(ShapeContracts, SequentialFoldsContractsFrontToBack) {
+  darnet::util::Rng rng(7);
+  Sequential model;
+  model.emplace<Dense>(4, 3, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(3, 2, rng);
+
+  const ShapeContract ok = model.shape_contract({5, 4});
+  ASSERT_EQ(ok.kind, ShapeContract::Kind::kOk);
+  EXPECT_EQ(ok.output_shape, (std::vector<int>{5, 2}));
+
+  const ShapeContract bad = model.shape_contract({5, 9});
+  ASSERT_EQ(bad.kind, ShapeContract::Kind::kBad);
+  EXPECT_NE(bad.error.find("layer #0"), std::string::npos);
+  EXPECT_NE(bad.error.find("Dense"), std::string::npos);
+}
+
+TEST(ShapeContracts, DefaultDeclines) {
+  class Opaque final : public darnet::nn::Layer {
+   public:
+    Tensor forward(const Tensor& input, bool) override { return input; }
+    Tensor backward(const Tensor& g) override { return g; }
+    [[nodiscard]] std::string name() const override { return "Opaque"; }
+  };
+  Sequential model;
+  model.add(std::make_unique<Opaque>());
+  EXPECT_EQ(model.shape_contract({1, 2}).kind,
+            ShapeContract::Kind::kUnchecked);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Checked/unchecked parity: bit-identical numerics in every build mode.
+
+/// FNV-1a over the raw bit patterns: any single-ULP difference between
+/// build modes changes the hash.
+std::uint64_t bit_hash(std::span<const float> values) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const float f : values) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &f, sizeof bits);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+TEST(CheckedParity, MatmulBitsMatchGolden) {
+  darnet::util::Rng rng(123);
+  const Tensor a = Tensor::he_normal({48, 32}, 32, rng);
+  const Tensor b = Tensor::he_normal({32, 24}, 32, rng);
+  const Tensor c = darnet::tensor::matmul(a, b);
+  EXPECT_EQ(bit_hash(c.flat()), 0x391700a975ec146dULL)
+      << "matmul result bits differ from the recorded unchecked-build "
+         "golden";
+}
+
+TEST(CheckedParity, SmallConvNetForwardBitsMatchGolden) {
+  darnet::util::Rng rng(321);
+  Sequential model;
+  model.emplace<darnet::nn::Conv2D>(2, 3, 3, 1, rng);
+  model.emplace<ReLU>();
+  const Tensor x = Tensor::he_normal({2, 2, 8, 8}, 2 * 8 * 8, rng);
+  const Tensor y = model.forward(x, /*training=*/false);
+  EXPECT_EQ(bit_hash(y.flat()), 0xecfd84869c9ccb3aULL)
+      << "conv forward bits differ from the recorded unchecked-build "
+         "golden";
+}
+
+}  // namespace

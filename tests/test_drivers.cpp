@@ -67,7 +67,7 @@ TEST(DriverStyle, StylesShiftRenderedScenes) {
   for (std::size_t i = 0; i < ma.size(); ++i) {
     diff += std::abs(ma[i] - mb[i]);
   }
-  EXPECT_GT(diff / ma.size(), 0.005);
+  EXPECT_GT(diff / static_cast<double>(ma.size()), 0.005);
 }
 
 TEST(Dataset, DriverIdsCoverConfiguredCount) {

@@ -86,7 +86,7 @@ TEST(MultiModal, TwoParentReducesToDeployedCombinerBehaviour) {
     if (a[i] == b[i]) ++agree;
   }
   // Identical math up to floating-point accumulation order.
-  EXPECT_GT(static_cast<double>(agree) / a.size(), 0.99);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(a.size()), 0.99);
 }
 
 TEST(MultiModal, OutputIsNormalised) {
@@ -138,7 +138,7 @@ TEST(MultiModal, ThirdModalityResolvesResidualAmbiguity) {
     if (preds[i] == labels[i]) ++correct;
   }
   // Each binary modality alone caps out near 2/3; fused must be high.
-  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.8);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()), 0.8);
 }
 
 TEST(MultiModal, CptAccessorBoundsChecked) {

@@ -54,8 +54,8 @@ TEST(Distortion, WireBytesShrinkByExpectedRatios) {
       privacy::wire_bytes(privacy::DistortionModule(DistortionLevel::kHigh)
                               .process(frame));
   // Ratios on the pixel payload: ~9x for low, ~144x for high.
-  EXPECT_NEAR(static_cast<double>(none - 1) / (low - 1), 9.0, 0.1);
-  EXPECT_NEAR(static_cast<double>(none - 1) / (high - 1), 144.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(none - 1) / static_cast<double>(low - 1), 9.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(none - 1) / static_cast<double>(high - 1), 144.0, 0.1);
 }
 
 TEST(Distortion, ReconstructRestoresModelInputSize) {

@@ -189,7 +189,7 @@ TEST_P(SvmSweep, SeparatesWellSeparatedGaussians) {
   for (std::size_t i = 0; i < preds.size(); ++i) {
     if (preds[i] == y[i]) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.95)
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()), 0.95)
       << classes << " classes, " << dim << " dims";
 }
 

@@ -53,7 +53,7 @@ TEST(LinearSvm, SeparatesGaussianBlobs) {
   for (std::size_t i = 0; i < preds.size(); ++i) {
     if (preds[i] == b.y[i]) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.97);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()), 0.97);
 }
 
 TEST(LinearSvm, ProbabilitiesAreNormalisedDistributions) {
@@ -97,7 +97,7 @@ TEST(LinearSvm, StandardisationMakesScaleIrrelevant) {
   for (std::size_t i = 0; i < preds.size(); ++i) {
     if (preds[i] == b.y[i]) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.95);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()), 0.95);
 }
 
 TEST(LinearSvm, FitValidatesInputs) {

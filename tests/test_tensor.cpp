@@ -62,7 +62,7 @@ TEST(Tensor, HeNormalStddevScalesWithFanIn) {
   Tensor t = Tensor::he_normal({200, 200}, 50, rng);
   double sq = 0.0;
   for (float v : t.flat()) sq += static_cast<double>(v) * v;
-  const double stddev = std::sqrt(sq / t.numel());
+  const double stddev = std::sqrt(sq / static_cast<double>(t.numel()));
   EXPECT_NEAR(stddev, std::sqrt(2.0 / 50), 0.01);
 }
 

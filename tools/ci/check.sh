@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# tools/ci/check.sh -- build and test the full correctness matrix.
+#
+# Legs (each: configure + build + ctest, warnings-as-errors everywhere):
+#   default  Release, invariants compiled out (the shipping configuration)
+#   checked  Release + DARNET_CHECKED=ON (invariants active at full speed)
+#   asan     Debug + AddressSanitizer  (checked: Debug defaults CHECKED=ON)
+#   ubsan    Debug + UndefinedBehaviorSanitizer, -fno-sanitize-recover
+#   tsan     Debug + ThreadSanitizer (the parallel:: subsystem gate)
+#
+# Usage:
+#   tools/ci/check.sh                # run every leg
+#   tools/ci/check.sh checked ubsan  # run a subset
+#   JOBS=4 tools/ci/check.sh         # override build parallelism
+#
+# Exits nonzero if ANY leg fails to configure, build, or pass its tests.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
+
+ALL_LEGS=(default checked asan ubsan tsan)
+LEGS=("$@")
+if [ "${#LEGS[@]}" -eq 0 ]; then
+  LEGS=("${ALL_LEGS[@]}")
+fi
+
+FAILED=()
+PASSED=()
+
+run_leg() {
+  leg_name="$1"
+  shift
+  leg_dir="${BUILD_ROOT}/${leg_name}"
+  echo
+  echo "=== [${leg_name}] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON "$@"; then
+    FAILED+=("${leg_name} (configure)")
+    return 1
+  fi
+  echo "=== [${leg_name}] build (-j${JOBS}) ==="
+  if ! cmake --build "${leg_dir}" -j "${JOBS}"; then
+    FAILED+=("${leg_name} (build)")
+    return 1
+  fi
+  echo "=== [${leg_name}] test ==="
+  if ! ctest --test-dir "${leg_dir}" --output-on-failure; then
+    FAILED+=("${leg_name} (test)")
+    return 1
+  fi
+  PASSED+=("${leg_name}")
+  return 0
+}
+
+for leg in "${LEGS[@]}"; do
+  case "${leg}" in
+    default)
+      run_leg default -DCMAKE_BUILD_TYPE=Release -DDARNET_CHECKED=OFF
+      ;;
+    checked)
+      run_leg checked -DCMAKE_BUILD_TYPE=Release -DDARNET_CHECKED=ON
+      ;;
+    asan)
+      run_leg asan -DCMAKE_BUILD_TYPE=Debug -DDARNET_SANITIZE=address
+      ;;
+    ubsan)
+      run_leg ubsan -DCMAKE_BUILD_TYPE=Debug -DDARNET_SANITIZE=undefined
+      ;;
+    tsan)
+      run_leg tsan -DCMAKE_BUILD_TYPE=Debug -DDARNET_SANITIZE=thread
+      ;;
+    *)
+      echo "check.sh: unknown leg '${leg}'" \
+           "(expected: ${ALL_LEGS[*]})" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "=== matrix summary ==="
+for leg in "${PASSED[@]+"${PASSED[@]}"}"; do
+  echo "  PASS ${leg}"
+done
+for leg in "${FAILED[@]+"${FAILED[@]}"}"; do
+  echo "  FAIL ${leg}"
+done
+
+if [ "${#FAILED[@]}" -ne 0 ]; then
+  exit 1
+fi
+echo "all legs green"

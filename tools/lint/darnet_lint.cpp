@@ -1,0 +1,319 @@
+// darnet_lint -- the repo's dependency-free C++ lint binary.
+//
+// Encodes DarNet's tree-wide source invariants (see DESIGN.md
+// "Correctness tooling") and enforces them from CTest, so a build that
+// violates a convention fails `ctest` the same way a broken unit test
+// does. Rules:
+//
+//   pragma-once      every .hpp must contain `#pragma once`
+//   raw-new          no raw `new` expressions (RAII everywhere: value
+//                    types, std::make_unique, containers)
+//   raw-delete       no `delete` expressions (`= delete` declarations are
+//                    allowed and recognised)
+//   thread-outside-parallel
+//                    no std::thread / std::jthread / std::async outside
+//                    src/parallel/ -- the thread pool is the repo's one
+//                    concurrency primitive
+//   unseeded-rng     no rand()/srand()/std::random_device/std::mt19937 /
+//                    default_random_engine -- all randomness flows through
+//                    the deterministic util::Rng
+//   hot-path-io      no printf-family / std::cout / std::cerr /
+//                    <iostream> in src/tensor or src/nn -- hot numeric
+//                    paths must not pull in console I/O (diagnostics
+//                    belong in darnet::check or util::logging)
+//
+// Comments, string literals and character literals are stripped before
+// matching, so documentation may mention banned constructs freely. The
+// linter skips its own directory (tools/lint/) because this rule table
+// necessarily spells out every banned token.
+//
+// Usage: darnet_lint <repo_root>
+// Exit status: 0 when clean, 1 on findings, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+/// Replace comments, string literals and char literals with spaces
+/// (newlines preserved so line numbers survive).
+std::string strip_noncode(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (c != '\n') out[i] = ' ';
+          if (next != '\0' && next != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (c != '\n') out[i] = ' ';
+          if (next != '\0' && next != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Find token occurrences with identifier-boundary checks on both ends
+/// (only applied where the pattern itself begins/ends with an identifier
+/// character). Calls `on_hit(offset)` per occurrence.
+void for_each_token(const std::string& code, std::string_view token,
+                    const std::function<void(std::size_t)>& on_hit) {
+  for (std::size_t pos = code.find(token); pos != std::string::npos;
+       pos = code.find(token, pos + 1)) {
+    if (ident_char(token.front()) && pos > 0 && ident_char(code[pos - 1])) {
+      continue;
+    }
+    const std::size_t end = pos + token.size();
+    if (ident_char(token.back()) && end < code.size() &&
+        ident_char(code[end])) {
+      continue;
+    }
+    on_hit(pos);
+  }
+}
+
+std::size_t line_of(const std::string& code, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(code.begin(),
+                            code.begin() + static_cast<std::ptrdiff_t>(offset),
+                            '\n'));
+}
+
+/// After `pos + len`, skip whitespace; true when the next character starts
+/// an expression operand (identifier, '(' or '['). Distinguishes
+/// `new Foo` / `delete p` / `delete[] p` from other uses of the tokens.
+bool followed_by_operand(const std::string& code, std::size_t pos,
+                         std::size_t len) {
+  std::size_t i = pos + len;
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+    ++i;
+  }
+  if (i >= code.size()) return false;
+  const char c = code[i];
+  return ident_char(c) || c == '(' || c == '[' || c == ':';
+}
+
+/// True when `delete` at `pos` is a deleted-function declaration
+/// (`= delete`), which is allowed.
+bool is_deleted_function(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 &&
+         std::isspace(static_cast<unsigned char>(code[i - 1])) != 0) {
+    --i;
+  }
+  return i > 0 && code[i - 1] == '=';
+}
+
+struct Linter {
+  fs::path root;
+  std::vector<Finding> findings;
+
+  void report(const fs::path& file, std::size_t line, std::string rule,
+              std::string message) {
+    findings.push_back(Finding{fs::relative(file, root).generic_string(),
+                               line, std::move(rule), std::move(message)});
+  }
+
+  void lint_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      report(path, 0, "io-error", "cannot open file");
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+    const std::string code = strip_noncode(raw);
+    const std::string rel = fs::relative(path, root).generic_string();
+    const bool is_header = path.extension() == ".hpp";
+    const bool in_parallel = rel.starts_with("src/parallel/");
+    const bool hot_path =
+        rel.starts_with("src/tensor/") || rel.starts_with("src/nn/");
+
+    if (is_header && raw.find("#pragma once") == std::string::npos) {
+      report(path, 1, "pragma-once", "header is missing #pragma once");
+    }
+
+    for_each_token(code, "new", [&](std::size_t pos) {
+      if (!followed_by_operand(code, pos, 3)) return;
+      report(path, line_of(code, pos), "raw-new",
+             "raw new expression; use value types, containers or "
+             "std::make_unique");
+    });
+
+    for_each_token(code, "delete", [&](std::size_t pos) {
+      if (is_deleted_function(code, pos)) return;
+      if (!followed_by_operand(code, pos, 6)) return;
+      report(path, line_of(code, pos), "raw-delete",
+             "raw delete expression; ownership must be RAII-managed");
+    });
+
+    if (!in_parallel) {
+      for (const char* token :
+           {"std::thread", "std::jthread", "std::async"}) {
+        for_each_token(code, token, [&](std::size_t pos) {
+          report(path, line_of(code, pos), "thread-outside-parallel",
+                 std::string(token) +
+                     " outside src/parallel/; build on parallel_for");
+        });
+      }
+    }
+
+    for (const char* token :
+         {"std::rand", "srand", "std::random_device", "std::mt19937",
+          "std::default_random_engine"}) {
+      for_each_token(code, token, [&](std::size_t pos) {
+        report(path, line_of(code, pos), "unseeded-rng",
+               std::string(token) +
+                   "; all randomness must flow through util::Rng with an "
+                   "explicit seed");
+      });
+    }
+    for_each_token(code, "rand", [&](std::size_t pos) {
+      // Bare C rand(): token `rand` immediately applied as a call.
+      if (pos >= 5 && code.compare(pos - 5, 5, "std::") == 0) return;
+      std::size_t i = pos + 4;
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+        ++i;
+      }
+      if (i < code.size() && code[i] == '(') {
+        report(path, line_of(code, pos), "unseeded-rng",
+               "C rand(); all randomness must flow through util::Rng");
+      }
+    });
+
+    if (hot_path) {
+      for (const char* token : {"printf", "fprintf", "sprintf", "puts",
+                                "std::cout", "std::cerr", "std::clog"}) {
+        for_each_token(code, token, [&](std::size_t pos) {
+          report(path, line_of(code, pos), "hot-path-io",
+                 std::string(token) +
+                     " in a tensor/nn hot path; route diagnostics through "
+                     "darnet::check or util::logging");
+        });
+      }
+      if (code.find("#include <iostream>") != std::string::npos) {
+        report(path, 1, "hot-path-io",
+               "<iostream> include in a tensor/nn hot path");
+      }
+    }
+  }
+
+  void run() {
+    for (const char* top : {"src", "tests", "bench", "examples", "tools"}) {
+      const fs::path dir = root / top;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path& p = entry.path();
+        const std::string rel = fs::relative(p, root).generic_string();
+        if (rel.starts_with("tools/lint/")) continue;  // the rule table
+        const auto ext = p.extension();
+        if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+        lint_file(p);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: darnet_lint <repo_root>\n";
+    return 2;
+  }
+  const fs::path root = fs::path(argv[1]);
+  if (!fs::exists(root / "src")) {
+    std::cerr << "darnet_lint: " << root.string()
+              << " does not look like the repo root (no src/)\n";
+    return 2;
+  }
+
+  Linter linter;
+  linter.root = root;
+  linter.run();
+
+  for (const Finding& f : linter.findings) {
+    std::cerr << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  }
+  if (!linter.findings.empty()) {
+    std::cerr << "darnet_lint: " << linter.findings.size()
+              << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "darnet_lint: clean\n";
+  return 0;
+}
