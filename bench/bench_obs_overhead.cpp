@@ -1,0 +1,131 @@
+// Observability overhead microbenchmarks (google-benchmark).
+//
+// Two groups:
+//   * Primitive costs -- what one macro invocation costs at steady state.
+//     These go through the DARNET_* macros, so an obs-off build measures
+//     the true compiled-out no-op (expect ~0 ns).
+//   * Instrumented-path costs -- the real workloads the <2% overhead
+//     budget is stated against (docs/OBSERVABILITY.md, DESIGN.md §8):
+//     per-frame CNN inference and a full training epoch, both of which
+//     cross the per-layer span + whole-pass timer instrumentation in
+//     Sequential and the trainer counters.
+//
+// Evidence protocol (EXPERIMENTS.md): build twice, once with
+// -DDARNET_OBS=ON and once with OFF (both Release), run this binary with
+// --benchmark_format=json in each build, and record both runs plus the
+// computed ON/OFF ratios in BENCH_obs_overhead.json.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/architectures.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "obs/obs.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace darnet;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Primitive costs.
+
+void BM_CounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    DARNET_COUNTER_ADD("bench/counter_add_total", 1);
+  }
+  state.SetLabel(obs::enabled() ? "relaxed fetch_add on a per-thread shard"
+                                : "compiled-out no-op");
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSet(benchmark::State& state) {
+  double v = 0.0;
+  for (auto _ : state) {
+    DARNET_GAUGE_SET("bench/gauge_set", v);
+    v += 1.0;
+  }
+  state.SetLabel(obs::enabled() ? "relaxed atomic store"
+                                : "compiled-out no-op");
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  std::uint64_t ns = 0;
+  for (auto _ : state) {
+    DARNET_HISTOGRAM_NS("bench/histogram_record_ns", ns);
+    ns += 173;
+  }
+  state.SetLabel(obs::enabled() ? "bucket + three relaxed adds"
+                                : "compiled-out no-op");
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TimerScope(benchmark::State& state) {
+  for (auto _ : state) {
+    DARNET_TIMER("bench/timer_scope_ns");
+  }
+  state.SetLabel(obs::enabled() ? "two clock reads + histogram record"
+                                : "compiled-out no-op");
+}
+BENCHMARK(BM_TimerScope);
+
+void BM_Span(benchmark::State& state) {
+  for (auto _ : state) {
+    DARNET_SPAN("bench/span_scope");
+  }
+  if (obs::enabled()) obs::clear_trace();
+  state.SetLabel(obs::enabled() ? "two clock reads + ring write"
+                                : "compiled-out no-op");
+}
+BENCHMARK(BM_Span);
+
+// ---------------------------------------------------------------------------
+// Instrumented-path costs: identical workloads to bench_perf_micro's
+// BM_FrameCnnInference / BM_TrainEpoch, so ON and OFF builds of THIS
+// binary isolate the instrumentation cost on the paths that matter.
+
+void BM_FrameCnnForward(benchmark::State& state) {
+  engine::FrameCnnConfig cfg;
+  nn::Sequential cnn = engine::build_frame_cnn(cfg);
+  util::Rng rng(4);
+  const Tensor frame = Tensor::uniform({1, 1, 48, 48}, 0.5f, rng);
+  for (auto _ : state) {
+    Tensor p = cnn.forward(frame, false);
+    benchmark::DoNotOptimize(p.data());
+  }
+  if (obs::enabled()) obs::clear_trace();
+  state.SetLabel("per-layer spans + whole-pass timer in Sequential");
+}
+BENCHMARK(BM_FrameCnnForward);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  engine::FrameCnnConfig cfg;
+  nn::Sequential cnn = engine::build_frame_cnn(cfg);
+  util::Rng rng(12);
+  const int n = 64;
+  const Tensor x = Tensor::uniform({n, 1, 48, 48}, 0.5f, rng);
+  std::vector<int> labels(n);
+  for (auto& y : labels) y = static_cast<int>(rng.uniform_index(6));
+  nn::Sgd optimizer(0.03, 0.9, 1e-4);
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 32;
+  for (auto _ : state) {
+    const double loss = nn::train_classifier(cnn, optimizer, x, labels, tc);
+    benchmark::DoNotOptimize(loss);
+  }
+  if (obs::enabled()) obs::clear_trace();
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("trainer counters + epoch spans + layer instrumentation");
+}
+BENCHMARK(BM_TrainEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

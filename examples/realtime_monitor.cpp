@@ -9,11 +9,17 @@
 // latency against false positives.
 //
 // Usage: realtime_monitor [scale] [alert_streak]
+//
+// With an observability-enabled build (cmake -DDARNET_OBS=ON, the default)
+// set DARNET_OBS_DUMP=<dir> to write <dir>/metrics.json (the registry
+// snapshot) and <dir>/trace.json (chrome://tracing timeline) on exit.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "engine/streaming.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -76,5 +82,16 @@ int main(int argc, char** argv) {
   std::cout << "Residual phone clock error: "
             << util::fmt(std::abs(pipeline.phone_clock_error()) * 1e3, 1)
             << " ms after 5s-period master-slave sync\n";
+
+  // Observability dump: DARNET_OBS_DUMP=/tmp/obs realtime_monitor writes
+  // the metrics snapshot and the chrome://tracing span timeline there.
+  if (const char* dump = std::getenv("DARNET_OBS_DUMP");
+      dump != nullptr && *dump != '\0' && obs::enabled()) {
+    const std::string dir(dump);
+    obs::registry().write_json(dir + "/metrics.json");
+    obs::write_trace(dir + "/trace.json");
+    std::cout << "Observability dump: " << dir << "/metrics.json, " << dir
+              << "/trace.json\n";
+  }
   return 0;
 }

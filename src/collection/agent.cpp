@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace darnet::collection {
 
 CollectionAgent::CollectionAgent(Simulation& sim, AgentConfig config,
@@ -51,6 +53,7 @@ void CollectionAgent::poll_sensor(std::size_t index) {
   buffered_bytes_ +=
       reading.values.size() * sizeof(float) + reading.stream.size() + 16;
   buffer_.push_back(std::move(reading));
+  DARNET_GAUGE_SET("collection/agent_buffer_bytes", buffered_bytes_);
   if (config_.max_batch_bytes > 0 &&
       buffered_bytes_ >= config_.max_batch_bytes) {
     flush();
@@ -68,6 +71,8 @@ void CollectionAgent::flush() {
   buffer_.clear();
   buffered_bytes_ = 0;
   ++batches_sent_;
+  DARNET_COUNTER_ADD("collection/agent_batches_flushed_total", 1);
+  DARNET_GAUGE_SET("collection/agent_buffer_bytes", 0);
   uplink_.send(encode(batch));
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace darnet::collection {
 
 Controller::Controller(Simulation& sim, ControllerConfig config)
@@ -26,6 +28,7 @@ void Controller::start() {
 }
 
 void Controller::broadcast_clock_sync() {
+  DARNET_COUNTER_ADD("collection/clock_sync_rounds_total", 1);
   const ClockSyncMessage sync{master_time()};
   for (auto& [id, link] : downlinks_) link->send(encode(sync));
   sim_.schedule_in(config_.clock_sync_period_s,
@@ -42,6 +45,9 @@ void Controller::on_message(std::span<const std::uint8_t> bytes) {
     case MessageKind::kBatch: {
       DataBatch batch = decode_batch(bytes);
       ++batches_;
+      DARNET_COUNTER_ADD("collection/batches_received_total", 1);
+      DARNET_COUNTER_ADD("collection/tuples_received_total",
+                         batch.readings.size());
       for (auto& reading : batch.readings) {
         ++tuples_;
         store_.append(reading.stream,
@@ -59,6 +65,8 @@ void Controller::on_message(std::span<const std::uint8_t> bytes) {
 std::vector<std::vector<float>> Controller::aligned_window(
     const std::vector<std::string>& streams, double t0, double t1,
     std::vector<double>* grid_times) const {
+  DARNET_TIMER("collection/align_ns");
+  DARNET_SPAN("collection/align_window");
   return store_.aligned(streams, t0, t1, config_.alignment_dt_s,
                         config_.smoothing_window_s, grid_times);
 }

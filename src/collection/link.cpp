@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace darnet::collection {
 
 VirtualLink::VirtualLink(Simulation& sim, LinkConfig config,
@@ -22,8 +24,11 @@ void VirtualLink::set_receiver(Handler handler) {
 void VirtualLink::send(std::vector<std::uint8_t> payload) {
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
+  DARNET_COUNTER_ADD("collection/link_messages_sent_total", 1);
+  DARNET_COUNTER_ADD("collection/link_bytes_sent_total", payload.size());
   if (rng_.chance(config_.loss_rate)) {
     ++stats_.messages_dropped;
+    DARNET_COUNTER_ADD("collection/link_messages_dropped_total", 1);
     return;
   }
   if (!receiver_) {

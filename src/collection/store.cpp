@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace darnet::collection {
 
 namespace {
@@ -29,6 +31,7 @@ void TimeSeriesStore::append(const std::string& stream, TimedTuple tuple) {
     series.insert(it, std::move(tuple));
   }
   ++total_;
+  DARNET_GAUGE_SET("collection/store_tuples", total_);
 }
 
 bool TimeSeriesStore::has_stream(const std::string& stream) const {

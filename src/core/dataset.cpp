@@ -1,6 +1,7 @@
 #include "core/dataset.hpp"
 
 #include "nn/trainer.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 
 #include <cmath>
@@ -41,6 +42,7 @@ imu::PhoneOrientation orientation_for(vision::DriverClass cls,
 }
 
 Dataset generate_dataset(const DatasetConfig& config) {
+  DARNET_SPAN("core/datagen");
   const auto counts = scaled_counts(config.scale);
   const int total = std::accumulate(counts.begin(), counts.end(), 0);
   const int s = config.render.size;

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 
 #include <cmath>
@@ -154,6 +155,7 @@ void StreamingPipeline::build() {
 
 std::vector<StreamedClassification> StreamingPipeline::run(
     DarNet* model, engine::ArchitectureKind kind) {
+  DARNET_SPAN("core/pipeline_run");
   controller_->start();
   camera_agent_->start();
   phone_agent_->start();
@@ -174,6 +176,7 @@ std::vector<StreamedClassification> StreamingPipeline::run(
   const int edge = config_.render.size;
 
   for (double t = imu::kWindowSeconds; t < horizon; t += 1.0) {
+    DARNET_TIMER("core/pipeline_step_ns");
     const auto rows = controller_->aligned_window(
         streams, t - imu::kWindowSeconds, t);
     if (rows.size() < imu::kWindowSteps) continue;  // warm-up or gaps
@@ -204,7 +207,10 @@ std::vector<StreamedClassification> StreamingPipeline::run(
     StreamedClassification out;
     out.time = t;
     out.actual = static_cast<int>(script_.behaviour_at(t));
-    out.distribution = model->classify(frame, window, kind);
+    {
+      DARNET_SPAN("core/infer");
+      out.distribution = model->classify(frame, window, kind);
+    }
     out.predicted = tensor::argmax(std::span<const float>(
         out.distribution.data(),
         static_cast<std::size_t>(out.distribution.dim(1))));

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 
 namespace darnet::engine {
@@ -85,9 +86,20 @@ void EnsembleClassifier::fit(const Tensor& frames, const Tensor& imu_windows,
 
 Tensor EnsembleClassifier::classify(const Tensor& frames,
                                     const Tensor& imu_windows) {
-  Tensor p_img = frame_model_->probabilities(frames);
+  DARNET_TIMER("engine/classify_ns");
+  DARNET_COUNTER_ADD("engine/classifications_total", 1);
+  Tensor p_img;
+  {
+    DARNET_SPAN("engine/frame_model_forward");
+    p_img = frame_model_->probabilities(frames);
+  }
   if (!imu_model_) return p_img;
-  const Tensor p_imu = imu_model_->probabilities(imu_windows);
+  Tensor p_imu;
+  {
+    DARNET_SPAN("engine/imu_model_forward");
+    p_imu = imu_model_->probabilities(imu_windows);
+  }
+  DARNET_SPAN("engine/combine");
   return combiner_.combine(p_img, p_imu);
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -14,6 +15,7 @@ std::vector<StreamingVerdict> smooth_timeline(
       config.alert_streak < 1) {
     throw std::invalid_argument("smooth_timeline: invalid config");
   }
+  DARNET_SPAN("engine/smooth_timeline");
   std::vector<StreamingVerdict> out;
   out.reserve(distributions.size());
   std::optional<Tensor> smoothed;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "check/check.hpp"
+#include "obs/obs.hpp"
 
 namespace darnet::nn {
 
@@ -70,6 +71,7 @@ void Sequential::verify_boundary(std::size_t i,
 
 Tensor Sequential::forward(const Tensor& input, bool training) {
   if (layers_.empty()) return input;
+  DARNET_TIMER("nn/forward_ns");
 #ifdef DARNET_CHECKED
   checked_in_shapes_.assign(layers_.size(), {});
   checked_in_shapes_[0] = input.shape();
@@ -77,7 +79,11 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
   // First layer reads the caller's tensor; every later layer receives the
   // previous activation as an rvalue so caching layers (Conv2D, Dense,
   // BiLstm) can steal the buffer instead of deep-copying it.
-  Tensor x = layers_.front()->forward(input, training);
+  Tensor x;
+  {
+    DARNET_SPAN_DETAIL("nn/layer_forward", layers_.front()->name());
+    x = layers_.front()->forward(input, training);
+  }
 #ifdef DARNET_CHECKED
   verify_boundary(0, checked_in_shapes_[0], x);
 #endif
@@ -85,7 +91,10 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
 #ifdef DARNET_CHECKED
     checked_in_shapes_[i] = x.shape();
 #endif
-    x = layers_[i]->forward_moved(std::move(x), training);
+    {
+      DARNET_SPAN_DETAIL("nn/layer_forward", layers_[i]->name());
+      x = layers_[i]->forward_moved(std::move(x), training);
+    }
 #ifdef DARNET_CHECKED
     verify_boundary(i, checked_in_shapes_[i], x);
 #endif
@@ -94,6 +103,7 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
 }
 
 Tensor Sequential::forward_moved(Tensor&& input, bool training) {
+  DARNET_TIMER("nn/forward_ns");
   Tensor x = std::move(input);
 #ifdef DARNET_CHECKED
   checked_in_shapes_.assign(layers_.size(), {});
@@ -102,7 +112,10 @@ Tensor Sequential::forward_moved(Tensor&& input, bool training) {
 #ifdef DARNET_CHECKED
     checked_in_shapes_[i] = x.shape();
 #endif
-    x = layers_[i]->forward_moved(std::move(x), training);
+    {
+      DARNET_SPAN_DETAIL("nn/layer_forward", layers_[i]->name());
+      x = layers_[i]->forward_moved(std::move(x), training);
+    }
 #ifdef DARNET_CHECKED
     verify_boundary(i, checked_in_shapes_[i], x);
 #endif
@@ -111,9 +124,13 @@ Tensor Sequential::forward_moved(Tensor&& input, bool training) {
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
+  DARNET_TIMER("nn/backward_ns");
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    {
+      DARNET_SPAN_DETAIL("nn/layer_backward", (*it)->name());
+      g = (*it)->backward(g);
+    }
 #ifdef DARNET_CHECKED
     const auto i =
         static_cast<std::size_t>(std::distance(it, layers_.rend())) - 1;

@@ -4,6 +4,7 @@
 
 #include "check/check.hpp"
 #include "nn/loss.hpp"
+#include "obs/obs.hpp"
 #include "nn/sequential.hpp"
 #include "parallel/pool.hpp"
 #include "tensor/ops.hpp"
@@ -194,6 +195,8 @@ double run_epochs(Layer& model, Optimizer& optimizer, const Tensor& x,
 
   double epoch_loss = 0.0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    DARNET_SPAN_DETAIL("nn/train_epoch", std::to_string(epoch));
+    DARNET_COUNTER_ADD("nn/train_epochs_total", 1);
     rng.shuffle(order);
     epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -202,6 +205,8 @@ double run_epochs(Layer& model, Optimizer& optimizer, const Tensor& x,
       const std::size_t end =
           std::min(n, start + static_cast<std::size_t>(cfg.batch_size));
       std::span<const std::size_t> idx(order.data() + start, end - start);
+      DARNET_COUNTER_ADD("nn/train_batches_total", 1);
+      DARNET_COUNTER_ADD("nn/train_samples_total", idx.size());
       epoch_loss +=
           cfg.shards > 1
               ? step_sharded(model, params, optimizer, x, idx, cfg, loss_fn,

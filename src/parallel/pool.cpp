@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "check/check.hpp"
+#include "obs/obs.hpp"
 
 namespace darnet::parallel {
 
@@ -39,6 +40,7 @@ std::shared_ptr<ThreadPool> acquire_pool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   if (!g_pool) {
     g_pool = std::make_shared<ThreadPool>(thread_count() - 1);
+    DARNET_GAUGE_SET("parallel/threads", thread_count());
   }
   return g_pool;
 }
@@ -148,6 +150,9 @@ void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
     return;
   }
 
+  DARNET_COUNTER_ADD("parallel/regions_total", 1);
+  DARNET_COUNTER_ADD("parallel/chunks_total", nchunks);
+
   std::lock_guard<std::mutex> submit(submit_mu_);
   Region region;
   region.begin = begin;
@@ -207,6 +212,7 @@ void set_thread_count(int count) {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   g_thread_count.store(count, std::memory_order_release);
   g_pool.reset();  // lazily recreated at the new size
+  DARNET_GAUGE_SET("parallel/threads", count);
 }
 
 bool in_parallel_region() noexcept { return t_in_region; }

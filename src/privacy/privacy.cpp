@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace darnet::privacy {
 
 const char* distortion_name(DistortionLevel level) noexcept {
@@ -45,6 +47,8 @@ TaggedFrame DistortionModule::process(const vision::Image& frame) const {
   if (frame.empty()) {
     throw std::invalid_argument("DistortionModule::process: empty frame");
   }
+  DARNET_TIMER("privacy/distort_ns");
+  DARNET_COUNTER_ADD("privacy/frames_distorted_total", 1);
   const int target = distorted_size(level_, frame.width());
   TaggedFrame out;
   out.level = level_;
@@ -94,6 +98,7 @@ Tensor apply_distortion(const Tensor& frames, DistortionLevel level) {
 double distill_dcnn(nn::Sequential& student, nn::Sequential& teacher,
                     const Tensor& clean_frames, DistortionLevel level,
                     nn::Optimizer& optimizer, const nn::TrainConfig& config) {
+  DARNET_SPAN("privacy/distill");
   // Step 1: record the teacher's outputs on the clean frames. In the
   // deployment this happens on-device, so the original image never leaves
   // the vehicle.

@@ -7,6 +7,13 @@
 #   asan     Debug + AddressSanitizer  (checked: Debug defaults CHECKED=ON)
 #   ubsan    Debug + UndefinedBehaviorSanitizer, -fno-sanitize-recover
 #   tsan     Debug + ThreadSanitizer (the parallel:: subsystem gate)
+#   obs      Release + DARNET_OBS=ON explicit (metrics/trace instrumentation
+#            active; includes test_obs and the darnet_lint docs-drift check
+#            that every registered metric/span name matches
+#            docs/OBSERVABILITY.md)
+#   obs-off  Release + DARNET_OBS=OFF (macros compile to unevaluated no-ops;
+#            proves the tree builds and all tests -- including the bit-parity
+#            goldens -- pass without the instrumentation)
 #
 # Usage:
 #   tools/ci/check.sh                # run every leg
@@ -21,7 +28,7 @@ ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
-ALL_LEGS=(default checked asan ubsan tsan)
+ALL_LEGS=(default checked asan ubsan tsan obs obs-off)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -70,6 +77,12 @@ for leg in "${LEGS[@]}"; do
       ;;
     tsan)
       run_leg tsan -DCMAKE_BUILD_TYPE=Debug -DDARNET_SANITIZE=thread
+      ;;
+    obs)
+      run_leg obs -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=ON
+      ;;
+    obs-off)
+      run_leg obs-off -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=OFF
       ;;
     *)
       echo "check.sh: unknown leg '${leg}'" \

@@ -21,6 +21,16 @@
 //                    <iostream> in src/tensor or src/nn -- hot numeric
 //                    paths must not pull in console I/O (diagnostics
 //                    belong in darnet::check or util::logging)
+//   obs-name-literal every DARNET_COUNTER_ADD / DARNET_GAUGE_SET /
+//                    DARNET_HISTOGRAM_NS / DARNET_TIMER / DARNET_SPAN /
+//                    DARNET_SPAN_DETAIL call site in src/ must name its
+//                    metric with a string literal, so the metric contract
+//                    is statically extractable
+//   obs-doc-missing  every metric/span name registered in src/ must have
+//                    a table row in docs/OBSERVABILITY.md -- the doc is a
+//                    checked contract, not a best-effort narrative
+//   obs-doc-stale    every name documented in docs/OBSERVABILITY.md must
+//                    still be registered somewhere in src/
 //
 // Comments, string literals and character literals are stripped before
 // matching, so documentation may mention banned constructs freely. The
@@ -37,6 +47,8 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -118,6 +130,66 @@ std::string strip_noncode(const std::string& text) {
   return out;
 }
 
+/// Like strip_noncode, but KEEPS string-literal contents: the observability
+/// contract check must read metric-name literals out of macro call sites
+/// while still ignoring names that only appear in comments.
+std::string strip_comments_keep_strings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
@@ -174,9 +246,43 @@ bool is_deleted_function(const std::string& code, std::size_t pos) {
   return i > 0 && code[i - 1] == '=';
 }
 
+/// Matches the registry's metric-name grammar: lowercase [a-z0-9_]
+/// segments joined by '/', at least two segments (`subsystem/verb_noun`).
+bool valid_obs_name(std::string_view name) {
+  if (name.empty() || name.front() == '/' || name.back() == '/') return false;
+  bool slash = false;
+  char prev = '\0';
+  for (const char c : name) {
+    if (c == '/') {
+      if (prev == '/') return false;
+      slash = true;
+    } else if ((c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_') {
+      return false;
+    }
+    prev = c;
+  }
+  return slash;
+}
+
+/// One metric/span registration site found in src/.
+struct ObsUse {
+  std::string name;
+  std::string file;
+  std::size_t line;
+};
+
+/// The DARNET_* observability macros whose first argument is the
+/// registered name. Order matters: longer tokens first so DARNET_SPAN
+/// never shadows DARNET_SPAN_DETAIL (for_each_token also boundary-checks).
+constexpr const char* kObsMacros[] = {
+    "DARNET_COUNTER_ADD", "DARNET_GAUGE_SET", "DARNET_HISTOGRAM_NS",
+    "DARNET_TIMER",       "DARNET_SPAN_DETAIL", "DARNET_SPAN",
+};
+
 struct Linter {
   fs::path root;
   std::vector<Finding> findings;
+  std::vector<ObsUse> obs_uses;
 
   void report(const fs::path& file, std::size_t line, std::string rule,
               std::string message) {
@@ -268,6 +374,107 @@ struct Linter {
                "<iostream> include in a tensor/nn hot path");
       }
     }
+
+    // Observability contract extraction: collect every metric/span name
+    // registered through the DARNET_* macros in src/. src/obs/ is skipped
+    // (it defines the macros; it registers nothing itself).
+    if (rel.starts_with("src/") && !rel.starts_with("src/obs/")) {
+      const std::string with_strings = strip_comments_keep_strings(raw);
+      for (const char* macro : kObsMacros) {
+        for_each_token(with_strings, macro, [&](std::size_t pos) {
+          std::size_t i = pos + std::string_view(macro).size();
+          while (i < with_strings.size() &&
+                 std::isspace(static_cast<unsigned char>(with_strings[i])) !=
+                     0) {
+            ++i;
+          }
+          if (i >= with_strings.size() || with_strings[i] != '(') {
+            return;  // macro definition mention, not a call site
+          }
+          ++i;
+          while (i < with_strings.size() &&
+                 std::isspace(static_cast<unsigned char>(with_strings[i])) !=
+                     0) {
+            ++i;
+          }
+          if (i >= with_strings.size() || with_strings[i] != '"') {
+            report(path, line_of(with_strings, pos), "obs-name-literal",
+                   std::string(macro) +
+                       ": metric/span name must be a string literal so the "
+                       "documented contract is statically checkable");
+            return;
+          }
+          const std::size_t open = i + 1;
+          const std::size_t close = with_strings.find('"', open);
+          if (close == std::string::npos) return;
+          obs_uses.push_back(ObsUse{with_strings.substr(open, close - open),
+                                    rel, line_of(with_strings, pos)});
+        });
+      }
+    }
+  }
+
+  /// Cross-checks the names registered in src/ against the metric tables
+  /// in docs/OBSERVABILITY.md. The doc is the authoritative contract:
+  /// every registered name must have a row, and every documented name
+  /// must still be registered.
+  void check_obs_contract() {
+    const fs::path doc_path = root / "docs" / "OBSERVABILITY.md";
+    std::ifstream in(doc_path, std::ios::binary);
+    if (!in) {
+      if (!obs_uses.empty()) {
+        report(doc_path, 0, "obs-doc-missing",
+               "docs/OBSERVABILITY.md does not exist but " +
+                   std::to_string(obs_uses.size()) +
+                   " metric/span registration(s) were found in src/");
+      }
+      return;
+    }
+
+    // Documented names: backticked `subsystem/name` tokens on table rows
+    // (lines whose first non-space character is '|'). File paths never
+    // match: the grammar has no '.' so `src/nn/trainer.cpp` is rejected.
+    std::map<std::string, std::size_t> documented;  // name -> first line
+    std::string line_text;
+    std::size_t line_no = 0;
+    while (std::getline(in, line_text)) {
+      ++line_no;
+      const std::size_t first = line_text.find_first_not_of(" \t");
+      if (first == std::string::npos || line_text[first] != '|') continue;
+      for (std::size_t tick = line_text.find('`');
+           tick != std::string::npos; tick = line_text.find('`', tick + 1)) {
+        const std::size_t end = line_text.find('`', tick + 1);
+        if (end == std::string::npos) break;
+        const std::string token = line_text.substr(tick + 1, end - tick - 1);
+        if (valid_obs_name(token)) documented.emplace(token, line_no);
+        tick = end;
+      }
+    }
+
+    std::set<std::string> registered;
+    for (const ObsUse& use : obs_uses) {
+      registered.insert(use.name);
+      if (!valid_obs_name(use.name)) {
+        report(root / use.file, use.line, "obs-name-literal",
+               "metric/span name '" + use.name +
+                   "' violates the subsystem/verb_noun grammar "
+                   "([a-z0-9_]+, >= 2 '/'-separated segments)");
+        continue;
+      }
+      if (!documented.contains(use.name)) {
+        report(root / use.file, use.line, "obs-doc-missing",
+               "metric/span '" + use.name +
+                   "' is registered here but has no table row in "
+                   "docs/OBSERVABILITY.md");
+      }
+    }
+    for (const auto& [name, doc_line] : documented) {
+      if (!registered.contains(name)) {
+        report(doc_path, doc_line, "obs-doc-stale",
+               "documented metric/span '" + name +
+                   "' is not registered anywhere in src/");
+      }
+    }
   }
 
   void run() {
@@ -284,6 +491,7 @@ struct Linter {
         lint_file(p);
       }
     }
+    check_obs_contract();
   }
 };
 
