@@ -71,12 +71,10 @@ std::vector<std::vector<float>> Controller::aligned_window(
                         config_.smoothing_window_s, grid_times);
 }
 
-const std::vector<std::string>& Controller::streams_of(
+std::optional<std::vector<std::string>> Controller::streams_of(
     std::uint32_t agent_id) const {
   const auto it = agent_streams_.find(agent_id);
-  if (it == agent_streams_.end()) {
-    throw std::out_of_range("Controller::streams_of: unknown agent");
-  }
+  if (it == agent_streams_.end()) return std::nullopt;
   return it->second;
 }
 

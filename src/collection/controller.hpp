@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 
 #include "collection/link.hpp"
 #include "collection/messages.hpp"
@@ -51,7 +52,11 @@ class Controller {
   }
   [[nodiscard]] TimeSeriesStore& store() noexcept { return store_; }
 
-  [[nodiscard]] const std::vector<std::string>& streams_of(
+  /// Streams registered by `agent_id`, or std::nullopt when the agent is
+  /// unknown. Returned by value: the lookup-miss path is explicit in the
+  /// type and no reference into the registration map can dangle across
+  /// later registrations.
+  [[nodiscard]] std::optional<std::vector<std::string>> streams_of(
       std::uint32_t agent_id) const;
 
   [[nodiscard]] std::uint64_t batches_received() const noexcept {

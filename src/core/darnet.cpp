@@ -9,17 +9,24 @@ namespace darnet::core {
 
 DarNet::DarNet(DarNetConfig config)
     : config_(config),
-      cnn_(engine::build_frame_cnn(config.cnn)),
-      rnn_(engine::build_imu_rnn(config.rnn)),
-      svm_(imu::kWindowSteps * imu::kImuChannels, config.rnn.num_classes),
-      cnn_classifier_(cnn_, config.cnn.num_classes, "MicroInception CNN"),
-      rnn_classifier_(rnn_, config.rnn.num_classes, "BiLSTM RNN"),
-      svm_classifier_(svm_),
-      cnn_only_(cnn_classifier_, nullptr, bayes::ClassMap::darnet_default()),
-      cnn_svm_(cnn_classifier_, &svm_classifier_,
-               bayes::ClassMap::darnet_default()),
-      cnn_rnn_(cnn_classifier_, &rnn_classifier_,
-               bayes::ClassMap::darnet_default()) {}
+      cnn_(std::make_shared<nn::Sequential>(
+          engine::build_frame_cnn(config.cnn))),
+      rnn_(std::make_shared<nn::Sequential>(engine::build_imu_rnn(config.rnn))),
+      svm_(std::make_shared<svm::LinearSvm>(
+          imu::kWindowSteps * imu::kImuChannels, config.rnn.num_classes)),
+      cnn_classifier_(std::make_shared<engine::NeuralClassifier>(
+          cnn_, config.cnn.num_classes, "MicroInception CNN")),
+      rnn_classifier_(std::make_shared<engine::NeuralClassifier>(
+          rnn_, config.rnn.num_classes, "BiLSTM RNN")),
+      svm_classifier_(std::make_shared<engine::SvmClassifier>(svm_)),
+      cnn_only_(std::make_shared<engine::EnsembleClassifier>(
+          cnn_classifier_, nullptr, bayes::ClassMap::darnet_default())),
+      cnn_svm_(std::make_shared<engine::EnsembleClassifier>(
+          cnn_classifier_, svm_classifier_,
+          bayes::ClassMap::darnet_default())),
+      cnn_rnn_(std::make_shared<engine::EnsembleClassifier>(
+          cnn_classifier_, rnn_classifier_,
+          bayes::ClassMap::darnet_default())) {}
 
 TrainReport DarNet::train(const Dataset& train_data) {
   if (train_data.size() == 0) {
@@ -42,7 +49,7 @@ TrainReport DarNet::train(const Dataset& train_data) {
       };
     }
     report.cnn_final_loss = nn::train_classifier(
-        cnn_, optimizer, train_data.frames, train_data.labels, tc);
+        *cnn_, optimizer, train_data.frames, train_data.labels, tc);
   }
 
   // IMU BiLSTM: supervised on the 3 IMU classes.
@@ -59,18 +66,18 @@ TrainReport DarNet::train(const Dataset& train_data) {
       };
     }
     report.rnn_final_loss = nn::train_classifier(
-        rnn_, optimizer, train_data.imu_windows, train_data.imu_labels, tc);
+        *rnn_, optimizer, train_data.imu_windows, train_data.imu_labels, tc);
   }
 
   // SVM baseline on the flattened windows.
-  svm_.fit(imu::flatten_windows(train_data.imu_windows),
-           train_data.imu_labels, config_.svm);
+  svm_->fit(imu::flatten_windows(train_data.imu_windows),
+            train_data.imu_labels, config_.svm);
 
   // Ensemble CPTs are estimated from the models' outputs on training data
   // ("based on the number of true-positive observations from the training
   // data presented to the system").
-  cnn_svm_.fit(train_data.frames, train_data.imu_windows, train_data.labels);
-  cnn_rnn_.fit(train_data.frames, train_data.imu_windows, train_data.labels);
+  cnn_svm_->fit(train_data.frames, train_data.imu_windows, train_data.labels);
+  cnn_rnn_->fit(train_data.frames, train_data.imu_windows, train_data.labels);
 
   trained_ = true;
   report.train_seconds = watch.seconds();
@@ -78,6 +85,11 @@ TrainReport DarNet::train(const Dataset& train_data) {
 }
 
 engine::EnsembleClassifier& DarNet::ensemble(engine::ArchitectureKind kind) {
+  return *ensemble_ptr(kind);
+}
+
+std::shared_ptr<engine::EnsembleClassifier> DarNet::ensemble_ptr(
+    engine::ArchitectureKind kind) {
   switch (kind) {
     case engine::ArchitectureKind::kCnnOnly:
       return cnn_only_;
@@ -103,11 +115,11 @@ void DarNet::save(const std::string& path) {
   if (!trained_) throw std::logic_error("DarNet::save before train()");
   util::BinaryWriter writer;
   writer.write_u32(kBundleMagic);
-  cnn_.save_params(writer);
-  rnn_.save_params(writer);
-  svm_.serialize(writer);
-  cnn_svm_.combiner().serialize(writer);
-  cnn_rnn_.combiner().serialize(writer);
+  cnn_->save_params(writer);
+  rnn_->save_params(writer);
+  svm_->serialize(writer);
+  cnn_svm_->combiner().serialize(writer);
+  cnn_rnn_->combiner().serialize(writer);
 
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("DarNet::save: cannot open " + path);
@@ -125,19 +137,15 @@ void DarNet::load(const std::string& path) {
   if (reader.read_u32() != kBundleMagic) {
     throw std::runtime_error("DarNet::load: not a DarNet bundle: " + path);
   }
-  cnn_.load_params(reader);
-  rnn_.load_params(reader);
-  svm_ = svm::LinearSvm::deserialize(reader);
-  // Restore the fitted combiners into ensembles that reference the
-  // (re-adapted) models.
+  cnn_->load_params(reader);
+  rnn_->load_params(reader);
+  *svm_ = svm::LinearSvm::deserialize(reader);
+  // Restore the fitted combiners in place: the ensembles (and any
+  // shared handles to them held by serving tiers) keep their identity.
   auto svm_combiner = bayes::BayesianCombiner::deserialize(reader);
   auto rnn_combiner = bayes::BayesianCombiner::deserialize(reader);
-  cnn_svm_ = engine::EnsembleClassifier(cnn_classifier_, &svm_classifier_,
-                                        svm_combiner.class_map());
-  cnn_rnn_ = engine::EnsembleClassifier(cnn_classifier_, &rnn_classifier_,
-                                        rnn_combiner.class_map());
-  cnn_svm_.restore_combiner(std::move(svm_combiner));
-  cnn_rnn_.restore_combiner(std::move(rnn_combiner));
+  cnn_svm_->restore_combiner(std::move(svm_combiner));
+  cnn_rnn_->restore_combiner(std::move(rnn_combiner));
   trained_ = true;
 }
 

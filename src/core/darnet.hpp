@@ -56,10 +56,15 @@ class DarNet {
                                              engine::ArchitectureKind kind);
 
   /// Direct access to the trained components (benches, ablations).
-  [[nodiscard]] nn::Sequential& frame_cnn() noexcept { return cnn_; }
-  [[nodiscard]] nn::Sequential& imu_rnn() noexcept { return rnn_; }
-  [[nodiscard]] svm::LinearSvm& imu_svm() noexcept { return svm_; }
+  [[nodiscard]] nn::Sequential& frame_cnn() noexcept { return *cnn_; }
+  [[nodiscard]] nn::Sequential& imu_rnn() noexcept { return *rnn_; }
+  [[nodiscard]] svm::LinearSvm& imu_svm() noexcept { return *svm_; }
   [[nodiscard]] engine::EnsembleClassifier& ensemble(
+      engine::ArchitectureKind kind);
+  /// Shared (owning) handle to an architecture's ensemble -- the form the
+  /// serving tier consumes; the ensemble stays valid for the handle's
+  /// lifetime even if this facade is destroyed.
+  [[nodiscard]] std::shared_ptr<engine::EnsembleClassifier> ensemble_ptr(
       engine::ArchitectureKind kind);
 
   [[nodiscard]] bool trained() const noexcept { return trained_; }
@@ -75,17 +80,20 @@ class DarNet {
 
  private:
   DarNetConfig config_;
-  nn::Sequential cnn_;
-  nn::Sequential rnn_;
-  svm::LinearSvm svm_;
+  // Shared ownership throughout: the classifier adapters co-own the
+  // models and the ensembles co-own the adapters, so handles returned by
+  // ensemble_ptr never dangle (see the engine API redesign notes).
+  std::shared_ptr<nn::Sequential> cnn_;
+  std::shared_ptr<nn::Sequential> rnn_;
+  std::shared_ptr<svm::LinearSvm> svm_;
 
-  engine::NeuralClassifier cnn_classifier_;
-  engine::NeuralClassifier rnn_classifier_;
-  engine::SvmClassifier svm_classifier_;
+  std::shared_ptr<engine::NeuralClassifier> cnn_classifier_;
+  std::shared_ptr<engine::NeuralClassifier> rnn_classifier_;
+  std::shared_ptr<engine::SvmClassifier> svm_classifier_;
 
-  engine::EnsembleClassifier cnn_only_;
-  engine::EnsembleClassifier cnn_svm_;
-  engine::EnsembleClassifier cnn_rnn_;
+  std::shared_ptr<engine::EnsembleClassifier> cnn_only_;
+  std::shared_ptr<engine::EnsembleClassifier> cnn_svm_;
+  std::shared_ptr<engine::EnsembleClassifier> cnn_rnn_;
   bool trained_{false};
 };
 

@@ -4,12 +4,17 @@
 
 #include "obs/obs.hpp"
 #include "tensor/ops.hpp"
+#include "util/stopwatch.hpp"
 
 namespace darnet::engine {
 
-NeuralClassifier::NeuralClassifier(nn::Layer& model, int num_classes,
-                                   std::string label)
-    : model_(&model), classes_(num_classes), label_(std::move(label)) {
+NeuralClassifier::NeuralClassifier(std::shared_ptr<nn::Layer> model,
+                                   int num_classes, std::string label)
+    : model_(std::move(model)), classes_(num_classes),
+      label_(std::move(label)) {
+  if (!model_) {
+    throw std::invalid_argument("NeuralClassifier: null model");
+  }
   if (num_classes < 2) {
     throw std::invalid_argument("NeuralClassifier: need >= 2 classes");
   }
@@ -25,7 +30,12 @@ Tensor NeuralClassifier::probabilities(const Tensor& inputs) {
   return p;
 }
 
-SvmClassifier::SvmClassifier(svm::LinearSvm& model) : model_(&model) {}
+SvmClassifier::SvmClassifier(std::shared_ptr<svm::LinearSvm> model)
+    : model_(std::move(model)) {
+  if (!model_) {
+    throw std::invalid_argument("SvmClassifier: null model");
+  }
+}
 
 Tensor SvmClassifier::probabilities(const Tensor& inputs) {
   // The SVM consumes flattened windows; accept [N, T, C] and flatten.
@@ -48,13 +58,17 @@ const char* architecture_name(ArchitectureKind kind) noexcept {
   return "?";
 }
 
-EnsembleClassifier::EnsembleClassifier(ProbabilisticClassifier& frame_model,
-                                       ProbabilisticClassifier* imu_model,
-                                       bayes::ClassMap class_map)
-    : frame_model_(&frame_model),
-      imu_model_(imu_model),
+EnsembleClassifier::EnsembleClassifier(
+    std::shared_ptr<ProbabilisticClassifier> frame_model,
+    std::shared_ptr<ProbabilisticClassifier> imu_model,
+    bayes::ClassMap class_map)
+    : frame_model_(std::move(frame_model)),
+      imu_model_(std::move(imu_model)),
       combiner_(std::move(class_map)) {
-  if (frame_model.num_classes() != combiner_.class_map().image_classes()) {
+  if (!frame_model_) {
+    throw std::invalid_argument("EnsembleClassifier: null frame model");
+  }
+  if (frame_model_->num_classes() != combiner_.class_map().image_classes()) {
     throw std::invalid_argument(
         "EnsembleClassifier: frame model / class map mismatch");
   }
@@ -84,8 +98,8 @@ void EnsembleClassifier::fit(const Tensor& frames, const Tensor& imu_windows,
   combiner_.fit(p_img, p_imu, labels);
 }
 
-Tensor EnsembleClassifier::classify(const Tensor& frames,
-                                    const Tensor& imu_windows) {
+Tensor EnsembleClassifier::classify_batch(const Tensor& frames,
+                                          const Tensor& imu_windows) {
   DARNET_TIMER("engine/classify_ns");
   DARNET_COUNTER_ADD("engine/classifications_total", 1);
   Tensor p_img;
@@ -103,9 +117,46 @@ Tensor EnsembleClassifier::classify(const Tensor& frames,
   return combiner_.combine(p_img, p_imu);
 }
 
+Tensor EnsembleClassifier::classify_batch_degraded(const Tensor& frames,
+                                                   const Tensor& imu_windows) {
+  if (!can_degrade()) return classify_batch(frames, imu_windows);
+  DARNET_TIMER("engine/classify_ns");
+  DARNET_COUNTER_ADD("engine/classifications_total", 1);
+  DARNET_COUNTER_ADD("engine/degraded_classifications_total", 1);
+  Tensor p_imu;
+  {
+    DARNET_SPAN("engine/imu_model_forward");
+    p_imu = imu_model_->probabilities(imu_windows);
+  }
+  // Uniform frame prior: only the IMU evidence moves the posterior. The
+  // heavy frame model never runs.
+  const int n = p_imu.dim(0);
+  const int c_img = combiner_.class_map().image_classes();
+  const Tensor uniform =
+      Tensor::full({n, c_img}, 1.0f / static_cast<float>(c_img));
+  DARNET_SPAN("engine/combine");
+  return combiner_.combine(uniform, p_imu);
+}
+
+ClassifyResult EnsembleClassifier::classify(const ClassifyRequest& request,
+                                            SessionState& session,
+                                            const StreamingConfig& config) {
+  util::Stopwatch watch;
+  Tensor fused = classify_batch(request.frame, request.imu_window);
+  if (fused.dim(0) != 1) {
+    throw std::invalid_argument(
+        "EnsembleClassifier::classify: one sample per request");
+  }
+  ClassifyResult result;
+  result.verdict = advance(session, fused, config);
+  result.latency_us = static_cast<std::int64_t>(watch.seconds() * 1e6);
+  result.degraded = false;
+  return result;
+}
+
 std::vector<int> EnsembleClassifier::predict(const Tensor& frames,
                                              const Tensor& imu_windows) {
-  const Tensor fused = classify(frames, imu_windows);
+  const Tensor fused = classify_batch(frames, imu_windows);
   const int n = fused.dim(0), c = fused.dim(1);
   std::vector<int> preds(n);
   for (int i = 0; i < n; ++i) {
@@ -128,17 +179,21 @@ nn::ConfusionMatrix EnsembleClassifier::evaluate(
   return cm;
 }
 
-void AnalyticsEngine::register_stream(const std::string& stream,
-                                      ProbabilisticClassifier& model) {
+void AnalyticsEngine::register_stream(
+    const std::string& stream,
+    std::shared_ptr<ProbabilisticClassifier> model) {
   if (stream.empty()) {
     throw std::invalid_argument("AnalyticsEngine: empty stream name");
+  }
+  if (!model) {
+    throw std::invalid_argument("AnalyticsEngine: null model for " + stream);
   }
   if (models_.contains(stream)) {
     throw std::invalid_argument(
         "AnalyticsEngine: stream already registered (1-to-1 mapping): " +
         stream);
   }
-  models_[stream] = &model;
+  models_[stream] = std::move(model);
 }
 
 bool AnalyticsEngine::has_stream(const std::string& stream) const {

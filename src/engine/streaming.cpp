@@ -4,42 +4,19 @@
 
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
-#include "tensor/ops.hpp"
 
 namespace darnet::engine {
 
 std::vector<StreamingVerdict> smooth_timeline(
     const std::vector<Tensor>& distributions,
     const StreamingConfig& config) {
-  if (config.smoothing_alpha <= 0.0 || config.smoothing_alpha > 1.0 ||
-      config.alert_streak < 1) {
-    throw std::invalid_argument("smooth_timeline: invalid config");
-  }
+  validate(config, "smooth_timeline");
   DARNET_SPAN("engine/smooth_timeline");
   std::vector<StreamingVerdict> out;
   out.reserve(distributions.size());
-  std::optional<Tensor> smoothed;
-  int streak = 0;
+  SessionState state;
   for (const auto& dist : distributions) {
-    if (dist.rank() != 2 || dist.dim(0) != 1) {
-      throw std::invalid_argument("smooth_timeline: [1, C] rows required");
-    }
-    if (!smoothed) {
-      smoothed = dist;
-    } else {
-      const auto alpha = static_cast<float>(config.smoothing_alpha);
-      for (std::size_t i = 0; i < dist.numel(); ++i) {
-        (*smoothed)[i] = (1.0f - alpha) * (*smoothed)[i] + alpha * dist[i];
-      }
-    }
-    StreamingVerdict v;
-    v.distribution = *smoothed;
-    v.predicted = tensor::argmax(
-        std::span<const float>(smoothed->data(), smoothed->numel()));
-    streak = (v.predicted != config.normal_class) ? streak + 1 : 0;
-    v.alert = streak >= config.alert_streak;
-    v.alert_onset = streak == config.alert_streak;
-    out.push_back(std::move(v));
+    out.push_back(advance(state, dist, config));
   }
   return out;
 }
@@ -47,10 +24,7 @@ std::vector<StreamingVerdict> smooth_timeline(
 std::vector<std::vector<StreamingVerdict>> smooth_timelines(
     const std::vector<std::vector<Tensor>>& driver_timelines,
     const StreamingConfig& config) {
-  if (config.smoothing_alpha <= 0.0 || config.smoothing_alpha > 1.0 ||
-      config.alert_streak < 1) {
-    throw std::invalid_argument("smooth_timelines: invalid config");
-  }
+  validate(config, "smooth_timelines");
   std::vector<std::vector<StreamingVerdict>> out(driver_timelines.size());
   parallel::parallel_for(
       0, static_cast<std::int64_t>(driver_timelines.size()), /*grain=*/1,
@@ -63,58 +37,23 @@ std::vector<std::vector<StreamingVerdict>> smooth_timelines(
   return out;
 }
 
-StreamingClassifier::StreamingClassifier(EnsembleClassifier& ensemble,
-                                         StreamingConfig config)
-    : ensemble_(&ensemble), config_(config) {
-  if (config.smoothing_alpha <= 0.0 || config.smoothing_alpha > 1.0) {
-    throw std::invalid_argument(
-        "StreamingClassifier: alpha must be in (0, 1]");
+StreamingClassifier::StreamingClassifier(
+    std::shared_ptr<EnsembleClassifier> ensemble, StreamingConfig config)
+    : ensemble_(std::move(ensemble)), config_(config) {
+  if (!ensemble_) {
+    throw std::invalid_argument("StreamingClassifier: null ensemble");
   }
-  if (config.alert_streak < 1) {
-    throw std::invalid_argument(
-        "StreamingClassifier: alert_streak must be >= 1");
-  }
-}
-
-void StreamingClassifier::reset() {
-  smoothed_.reset();
-  streak_ = 0;
+  validate(config, "StreamingClassifier");
 }
 
 StreamingVerdict StreamingClassifier::step(const Tensor& frame,
                                            const Tensor& imu_window) {
-  Tensor fused = ensemble_->classify(frame, imu_window);
+  Tensor fused = ensemble_->classify_batch(frame, imu_window);
   if (fused.dim(0) != 1) {
     throw std::invalid_argument(
         "StreamingClassifier::step: one sample per step");
   }
-
-  if (!smoothed_) {
-    smoothed_ = fused;
-  } else {
-    const auto alpha = static_cast<float>(config_.smoothing_alpha);
-    float* s = smoothed_->data();
-    const float* f = fused.data();
-    for (std::size_t i = 0; i < fused.numel(); ++i) {
-      s[i] = (1.0f - alpha) * s[i] + alpha * f[i];
-    }
-  }
-
-  StreamingVerdict verdict;
-  verdict.distribution = *smoothed_;
-  verdict.predicted = tensor::argmax(std::span<const float>(
-      smoothed_->data(), smoothed_->numel()));
-
-  if (verdict.predicted != config_.normal_class) {
-    ++streak_;
-  } else {
-    streak_ = 0;
-  }
-  verdict.alert = streak_ >= config_.alert_streak;
-  verdict.alert_onset = streak_ == config_.alert_streak;
-  if (verdict.alert_onset) ++alerts_;
-  ++steps_;
-  return verdict;
+  return advance(state_, fused, config_);
 }
 
 }  // namespace darnet::engine

@@ -6,30 +6,19 @@
 // and under sensor noise; deployments therefore (a) smooth the fused
 // distribution over time with an exponential moving average and
 // (b) debounce alerts so a distraction must persist before one fires.
+//
+// The recurrence itself (SessionState + advance) lives in
+// engine/session.hpp so the streaming classifier, the offline
+// smooth_timeline re-runner, and the serving tier (src/serve) all share
+// one implementation. Everything here is a thin wrapper.
 #pragma once
 
-#include <optional>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/session.hpp"
 
 namespace darnet::engine {
-
-struct StreamingConfig {
-  /// EWMA weight of the newest fused distribution (1.0 = no smoothing).
-  double smoothing_alpha = 0.6;
-  /// Consecutive distracted steps before an alert fires.
-  int alert_streak = 2;
-  /// The class index treated as "not distracted".
-  int normal_class = 0;
-};
-
-struct StreamingVerdict {
-  int predicted{0};
-  Tensor distribution;    // smoothed, [1, C]
-  bool alert{false};      // a debounced distraction alert fired this step
-  bool alert_onset{false};  // first step of a new alert episode
-};
 
 /// Re-run smoothing + debouncing over an already-collected sequence of
 /// per-step fused distributions (each [1, C]) -- the offline counterpart
@@ -47,31 +36,38 @@ struct StreamingVerdict {
     const StreamingConfig& config);
 
 /// Feeds per-timestep modality inputs through an EnsembleClassifier and
-/// maintains the temporal state (smoothed distribution, alert streak).
+/// maintains the temporal state (smoothed distribution, alert streak) in
+/// a SessionState.
 class StreamingClassifier {
  public:
-  StreamingClassifier(EnsembleClassifier& ensemble, StreamingConfig config);
+  /// Owning constructor; pass engine::borrow(ensemble) to keep the old
+  /// caller-owned lifetime.
+  StreamingClassifier(std::shared_ptr<EnsembleClassifier> ensemble,
+                      StreamingConfig config);
+
+  /// Deprecated borrowing shim: `ensemble` must outlive the classifier.
+  StreamingClassifier(EnsembleClassifier& ensemble, StreamingConfig config)
+      : StreamingClassifier(borrow(ensemble), config) {}
 
   /// One time-step: a single frame [1, 1, H, W] and IMU window
   /// [1, T, C]. Returns the smoothed verdict.
   StreamingVerdict step(const Tensor& frame, const Tensor& imu_window);
 
-  /// Drop temporal state (new session).
-  void reset();
+  /// Drop temporal state (new session). The steps/alerts counters are
+  /// monotonic and persist across resets.
+  void reset() { state_.reset_temporal(); }
 
-  [[nodiscard]] int steps_processed() const noexcept { return steps_; }
-  [[nodiscard]] int alerts_fired() const noexcept { return alerts_; }
+  [[nodiscard]] int steps_processed() const noexcept { return state_.steps; }
+  [[nodiscard]] int alerts_fired() const noexcept { return state_.alerts; }
   [[nodiscard]] const StreamingConfig& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] const SessionState& state() const noexcept { return state_; }
 
  private:
-  EnsembleClassifier* ensemble_;
+  std::shared_ptr<EnsembleClassifier> ensemble_;
   StreamingConfig config_;
-  std::optional<Tensor> smoothed_;
-  int streak_{0};
-  int steps_{0};
-  int alerts_{0};
+  SessionState state_;
 };
 
 }  // namespace darnet::engine

@@ -232,4 +232,23 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   pool->for_range(begin, end, grain, body);
 }
 
+ServiceThread::ServiceThread(std::function<void()> body)
+    : thread_(std::move(body)) {}
+
+ServiceThread::~ServiceThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+ServiceThread& ServiceThread::operator=(ServiceThread&& other) noexcept {
+  if (this != &other) {
+    if (thread_.joinable()) thread_.join();
+    thread_ = std::move(other.thread_);
+  }
+  return *this;
+}
+
+void ServiceThread::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
 }  // namespace darnet::parallel

@@ -104,4 +104,32 @@ void set_thread_count(int count);
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const RangeBody& body);
 
+/// A dedicated long-running thread for service loops (e.g. the serve
+/// scheduler's batching workers). Distinct from the ThreadPool: pool
+/// workers execute short chunked regions and must never block on external
+/// events, whereas a ServiceThread runs one long-lived body that may wait
+/// on queues. Lives in src/parallel because the parallel layer owns all
+/// thread creation in the tree (darnet_lint: thread-outside-parallel).
+///
+/// Join semantics: join() blocks until the body returns; the destructor
+/// joins if still joinable. The body is responsible for observing its own
+/// stop signal -- ServiceThread provides no cancellation.
+class ServiceThread {
+ public:
+  ServiceThread() = default;
+  explicit ServiceThread(std::function<void()> body);
+  ~ServiceThread();
+
+  ServiceThread(ServiceThread&& other) noexcept = default;
+  ServiceThread& operator=(ServiceThread&& other) noexcept;
+  ServiceThread(const ServiceThread&) = delete;
+  ServiceThread& operator=(const ServiceThread&) = delete;
+
+  [[nodiscard]] bool joinable() const noexcept { return thread_.joinable(); }
+  void join();
+
+ private:
+  std::thread thread_;
+};
+
 }  // namespace darnet::parallel

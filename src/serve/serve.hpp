@@ -1,0 +1,201 @@
+// darnet::serve -- the micro-batching multi-session inference server.
+//
+// The paper's deployment model is a centralized analytics engine serving
+// *many* vehicles at once ("the controller forwards data to a remote
+// server", §3.2-3.3). This module is that serving tier: it multiplexes
+// concurrent driver sessions onto one EnsembleClassifier by coalescing
+// queued single-frame requests into [B, ...] batches for a fused ensemble
+// pass, then scattering the per-row distributions back through per-session
+// streaming state (engine::SessionState -- the same EWMA + debounce
+// recurrence StreamingClassifier uses, which is what makes served verdict
+// sequences bit-identical to the single-threaded reference).
+//
+// Architecture (see DESIGN.md "Serving model"):
+//   * Admission: a bounded FIFO queue with explicit backpressure. submit()
+//     returns Admit::kAccepted, Admit::kShedOldest (admitted by dropping
+//     the oldest queued request, whose future completes with
+//     Status::kShed) or Admit::kRejected (queue full with shedding
+//     disabled, or server draining). Every future is always completed --
+//     admission verdicts, timeouts, shed and drain all resolve it.
+//   * Micro-batching: worker ServiceThreads (src/parallel) pop up to
+//     `max_batch` requests, flushing early once the oldest has waited
+//     `max_delay_us` -- whichever comes first. The fused pass itself runs
+//     on the process-wide parallel::ThreadPool via the engine's batched
+//     entry points.
+//   * Robustness: per-request absolute deadlines (expired requests get
+//     Status::kTimeout without inference), graceful drain() on shutdown
+//     (stops admission, flushes the queue, joins workers, leaves no
+//     pending futures), and a degraded mode with watermark hysteresis:
+//     when queue depth reaches `degrade_high_watermark` batches switch to
+//     the cheap single-modality path (EnsembleClassifier::
+//     classify_batch_degraded) until depth falls back to
+//     `degrade_low_watermark`.
+//   * Determinism: batches are formed FIFO under one lock and their
+//     session updates are applied in batch-ticket order, so each
+//     session's verdict sequence equals StreamingClassifier fed the same
+//     per-session inputs in the same order, regardless of batch
+//     boundaries or worker count.
+//
+// Everything is instrumented with serve/* metrics and spans per the
+// docs/OBSERVABILITY.md contract.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/session.hpp"
+#include "parallel/pool.hpp"
+
+namespace darnet::serve {
+
+/// Synchronous admission verdict for one submit() call.
+enum class Admit {
+  kAccepted,    ///< queued within capacity
+  kShedOldest,  ///< queued by shedding the oldest queued request
+  kRejected,    ///< not queued (queue full with shedding off, or draining)
+};
+
+/// How the asynchronous side of a request resolved.
+enum class Status {
+  kOk,        ///< served; `result` is meaningful
+  kTimeout,   ///< deadline expired while queued; no inference ran
+  kShed,      ///< dropped by backpressure to admit a newer request
+  kRejected,  ///< never admitted
+};
+
+[[nodiscard]] const char* admit_name(Admit admit) noexcept;
+[[nodiscard]] const char* status_name(Status status) noexcept;
+
+/// What a request's future resolves to.
+struct Response {
+  Status status{Status::kRejected};
+  /// Valid when status == kOk; latency_us is populated for kOk and
+  /// kTimeout (time spent queued).
+  engine::ClassifyResult result;
+};
+
+struct ServerConfig {
+  /// Flush a batch once this many requests are queued.
+  int max_batch = 8;
+  /// ... or once the oldest queued request has waited this long.
+  std::int64_t max_delay_us = 2000;
+  /// Admission queue bound (requests). Beyond it, shed or reject.
+  std::size_t queue_capacity = 64;
+  /// Overflow policy: true sheds the oldest queued request (freshest data
+  /// wins -- the in-vehicle alerting posture), false rejects the newcomer.
+  bool shed_oldest = true;
+  /// Queue depth at which batches switch to the degraded single-modality
+  /// pass. Default: never.
+  std::size_t degrade_high_watermark = static_cast<std::size_t>(-1);
+  /// Queue depth at or below which degraded mode disengages (hysteresis;
+  /// must be <= degrade_high_watermark).
+  std::size_t degrade_low_watermark = 0;
+  /// Batching worker threads. One is usually right: the fused pass is
+  /// serialized on the model anyway and fans out across the process-wide
+  /// ThreadPool; extra workers only overlap gather/scatter with inference.
+  int workers = 1;
+  /// Per-session smoothing + debounce parameters.
+  engine::StreamingConfig streaming;
+};
+
+/// The micro-batching inference server. Thread-safe: submit() may be
+/// called from any number of threads concurrently with the workers.
+class Server {
+ public:
+  /// Result of one submit(): the synchronous admission verdict plus the
+  /// future that resolves to the request's Response. The future is valid
+  /// and guaranteed to resolve for every admission verdict.
+  struct Submission {
+    Admit admit{Admit::kRejected};
+    std::future<Response> response;
+  };
+
+  /// Shares ownership of the ensemble (pass engine::borrow(e) or
+  /// DarNet::ensemble_ptr). The ensemble must already be fitted if
+  /// degraded mode is to use the IMU path.
+  Server(std::shared_ptr<engine::EnsembleClassifier> ensemble,
+         ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] Submission submit(engine::ClassifyRequest request);
+
+  /// Stop admitting, flush every queued request, join the workers. After
+  /// drain() returns no future is pending and submit() rejects.
+  /// Idempotent.
+  void drain();
+
+  /// Aggregate counters (consistent snapshot).
+  struct Stats {
+    std::uint64_t submitted{0};
+    std::uint64_t accepted{0};
+    std::uint64_t shed{0};
+    std::uint64_t rejected{0};
+    std::uint64_t timeouts{0};
+    std::uint64_t completed{0};
+    std::uint64_t batches{0};
+    std::uint64_t degraded_batches{0};
+    std::uint64_t batched_rows{0};
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// True while the degraded-mode hysteresis is engaged.
+  [[nodiscard]] bool degraded_mode() const;
+  /// Copy of a session's streaming state (default-constructed when the
+  /// session has never been served).
+  [[nodiscard]] engine::SessionState session(std::uint64_t session_id) const;
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Pending {
+    engine::ClassifyRequest request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
+                     bool degraded);
+  static void complete(Pending& pending, Response response);
+
+  std::shared_ptr<engine::EnsembleClassifier> ensemble_;
+  ServerConfig config_;
+
+  // Admission + batch formation. deque is the FIFO; capacity is enforced
+  // at every push (see the serve-bounded-queue lint rule).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Pending> queue_;
+  bool draining_{false};
+  bool degraded_{false};
+  std::uint64_t next_ticket_{0};
+  Stats stats_;
+
+  // Serialises fused passes: the underlying models keep forward caches,
+  // so at most one batch may be inside the ensemble at a time.
+  std::mutex exec_mu_;
+
+  // Session scatter, applied strictly in ticket order so per-session
+  // state advances in admission order with any worker count.
+  mutable std::mutex apply_mu_;
+  std::condition_variable apply_cv_;
+  std::uint64_t next_apply_{0};
+  std::unordered_map<std::uint64_t, engine::SessionState> sessions_;
+
+  std::vector<parallel::ServiceThread> workers_;
+};
+
+}  // namespace darnet::serve

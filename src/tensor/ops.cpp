@@ -326,4 +326,33 @@ Tensor transpose(const Tensor& t) {
   return out;
 }
 
+Tensor take_row(const Tensor& t, int row) {
+  require(t.rank() >= 1, "take_row: rank >= 1 required");
+  require(row >= 0 && row < t.dim(0), "take_row: row out of range");
+  std::vector<int> shape = t.shape();
+  shape[0] = 1;
+  Tensor out(std::move(shape));
+  const std::size_t stride = t.numel() / static_cast<std::size_t>(t.dim(0));
+  std::copy_n(t.data() + static_cast<std::size_t>(row) * stride, stride,
+              out.data());
+  return out;
+}
+
+Tensor stack_rows(std::span<const Tensor> rows) {
+  require(!rows.empty(), "stack_rows: empty input");
+  const Tensor& first = rows.front();
+  require(first.rank() >= 1 && first.dim(0) == 1,
+          "stack_rows: rows must have leading dim 1");
+  std::vector<int> shape = first.shape();
+  shape[0] = static_cast<int>(rows.size());
+  Tensor out(std::move(shape));
+  const std::size_t stride = first.numel();
+  float* o = out.data();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    require(rows[i].same_shape(first), "stack_rows: row shape mismatch");
+    std::copy_n(rows[i].data(), stride, o + i * stride);
+  }
+  return out;
+}
+
 }  // namespace darnet::tensor

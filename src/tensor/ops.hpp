@@ -68,4 +68,13 @@ Tensor softmax_rows(const Tensor& logits);
 /// Transpose a [M, N] tensor.
 Tensor transpose(const Tensor& t);
 
+/// Copy row `row` along the leading axis of a [N, ...] tensor into a new
+/// [1, ...] tensor (same trailing shape). Bounds-checked.
+Tensor take_row(const Tensor& t, int row);
+
+/// Stack K same-shaped [1, ...] tensors into a [K, ...] batch -- the
+/// serving tier's gather step. Throws on empty input, leading dim != 1,
+/// or shape mismatch between rows.
+Tensor stack_rows(std::span<const Tensor> rows);
+
 }  // namespace darnet::tensor

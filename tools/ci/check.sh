@@ -14,6 +14,10 @@
 #   obs-off  Release + DARNET_OBS=OFF (macros compile to unevaluated no-ops;
 #            proves the tree builds and all tests -- including the bit-parity
 #            goldens -- pass without the instrumentation)
+#   serve    serving-tier smoke: build examples/serve_demo (Release,
+#            observability on) and run it with DARNET_OBS_DUMP set,
+#            asserting it exits 0 and writes a non-empty metrics.json --
+#            the end-to-end proof that the serve/* instrumentation flows
 #
 # Usage:
 #   tools/ci/check.sh                # run every leg
@@ -28,7 +32,7 @@ ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
-ALL_LEGS=(default checked asan ubsan tsan obs obs-off)
+ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -61,6 +65,48 @@ run_leg() {
   return 0
 }
 
+# Serving-tier smoke leg: no ctest run -- build serve_demo in a Release +
+# observability configuration, run it with DARNET_OBS_DUMP, and assert the
+# demo succeeds and the metrics snapshot it dumps is non-empty.
+run_serve_smoke() {
+  leg_dir="${BUILD_ROOT}/serve"
+  echo
+  echo "=== [serve] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON \
+       -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=ON; then
+    FAILED+=("serve (configure)")
+    return 1
+  fi
+  echo "=== [serve] build serve_demo (-j${JOBS}) ==="
+  if ! cmake --build "${leg_dir}" -j "${JOBS}" --target serve_demo; then
+    FAILED+=("serve (build)")
+    return 1
+  fi
+  echo "=== [serve] smoke ==="
+  obs_dir="$(mktemp -d)"
+  if ! DARNET_OBS_DUMP="${obs_dir}" "${leg_dir}/examples/serve_demo"; then
+    echo "serve_demo exited nonzero" >&2
+    rm -rf "${obs_dir}"
+    FAILED+=("serve (smoke)")
+    return 1
+  fi
+  if ! [ -s "${obs_dir}/metrics.json" ]; then
+    echo "serve_demo did not write a non-empty ${obs_dir}/metrics.json" >&2
+    rm -rf "${obs_dir}"
+    FAILED+=("serve (smoke: metrics.json)")
+    return 1
+  fi
+  if ! grep -q 'serve/' "${obs_dir}/metrics.json"; then
+    echo "metrics.json contains no serve/* names" >&2
+    rm -rf "${obs_dir}"
+    FAILED+=("serve (smoke: serve/* metrics)")
+    return 1
+  fi
+  rm -rf "${obs_dir}"
+  PASSED+=("serve")
+  return 0
+}
+
 for leg in "${LEGS[@]}"; do
   case "${leg}" in
     default)
@@ -83,6 +129,9 @@ for leg in "${LEGS[@]}"; do
       ;;
     obs-off)
       run_leg obs-off -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=OFF
+      ;;
+    serve)
+      run_serve_smoke
       ;;
     *)
       echo "check.sh: unknown leg '${leg}'" \

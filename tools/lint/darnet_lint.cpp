@@ -31,6 +31,12 @@
 //                    checked contract, not a best-effort narrative
 //   obs-doc-stale    every name documented in docs/OBSERVABILITY.md must
 //                    still be registered somewhere in src/
+//   serve-bounded-queue
+//                    inside src/serve/, every member push/emplace into an
+//                    identifier containing "queue" must have a capacity
+//                    guard ("capacity" in the stripped code of the
+//                    preceding 8 lines) -- the admission queue must never
+//                    grow unboundedly
 //
 // Comments, string literals and character literals are stripped before
 // matching, so documentation may mention banned constructs freely. The
@@ -372,6 +378,39 @@ struct Linter {
       if (code.find("#include <iostream>") != std::string::npos) {
         report(path, 1, "hot-path-io",
                "<iostream> include in a tensor/nn hot path");
+      }
+    }
+
+    // Bounded-queue rule for the serving tier: the admission queue is the
+    // server's only elastic buffer, and it must stay bounded. Any member
+    // push/emplace into an identifier containing "queue" inside src/serve/
+    // must be visibly guarded -- the stripped code within the preceding
+    // eight lines has to mention "capacity" (e.g. a DARNET_CHECK or an
+    // if against queue_capacity).
+    if (rel.starts_with("src/serve/")) {
+      for (const char* op : {"push", "push_back", "push_front", "emplace",
+                             "emplace_back", "emplace_front"}) {
+        for_each_token(code, op, [&](std::size_t pos) {
+          if (pos == 0 || code[pos - 1] != '.') return;  // member call only
+          std::size_t begin = pos - 1;
+          while (begin > 0 && ident_char(code[begin - 1])) --begin;
+          const std::string receiver = code.substr(begin, pos - 1 - begin);
+          if (receiver.find("queue") == std::string::npos) return;
+          std::size_t window = begin;
+          int lines = 0;
+          while (window > 0 && lines < 8) {
+            if (code[window - 1] == '\n') ++lines;
+            --window;
+          }
+          if (code.substr(window, begin - window).find("capacity") ==
+              std::string::npos) {
+            report(path, line_of(code, pos), "serve-bounded-queue",
+                   "push into '" + receiver +
+                       "' with no capacity guard in the preceding 8 lines; "
+                       "the serve admission queue must stay bounded (check "
+                       "against queue_capacity before pushing)");
+          }
+        });
       }
     }
 
