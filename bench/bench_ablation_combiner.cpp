@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
   darnet.train(split.train);
 
   // Model outputs on the eval set, fused four ways.
-  engine::NeuralClassifier cnn(darnet.frame_cnn(), 6, "cnn");
-  engine::NeuralClassifier rnn(darnet.imu_rnn(), 3, "rnn");
+  engine::NeuralClassifier cnn(engine::borrow(darnet.frame_cnn()), 6, "cnn");
+  engine::NeuralClassifier rnn(engine::borrow(darnet.imu_rnn()), 3, "rnn");
   const Tensor p_img = cnn.probabilities(split.eval.frames);
   const Tensor p_imu = rnn.probabilities(split.eval.imu_windows);
   const auto map = bayes::ClassMap::darnet_default();

@@ -106,8 +106,8 @@ int main(int argc, char** argv) {
   }
 
   // Three-parent Bayesian networks over CNN + RNN + grip.
-  engine::NeuralClassifier cnn(darnet.frame_cnn(), 6, "cnn");
-  engine::NeuralClassifier rnn(darnet.imu_rnn(), 3, "rnn");
+  engine::NeuralClassifier cnn(engine::borrow(darnet.frame_cnn()), 6, "cnn");
+  engine::NeuralClassifier rnn(engine::borrow(darnet.imu_rnn()), 3, "rnn");
   bayes::ModalityMap cnn_map = bayes::MultiModalCombiner::identity_map(6);
   bayes::ModalityMap rnn_map{{0, 1, 2, 0, 0, 0}, 3};
   bayes::ModalityMap grip_map{{0, 1, 1, 1, 1, 2}, 3};

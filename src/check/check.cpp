@@ -56,7 +56,7 @@ void ShardWriteTracker::record(std::int64_t begin, std::int64_t end) {
     fail("shard begin < end", "darnet::check::ShardWriteTracker", 0,
          msg.str());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::Lock lock(mu_);
   const std::pair<std::int64_t, std::int64_t> range{begin, end};
   const auto it = std::lower_bound(ranges_.begin(), ranges_.end(), range);
   // Overlap iff the predecessor ends after `begin` or the successor starts
@@ -82,7 +82,7 @@ void ShardWriteTracker::record(std::int64_t begin, std::int64_t end) {
 }
 
 std::int64_t ShardWriteTracker::covered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::Lock lock(mu_);
   std::int64_t total = 0;
   for (const auto& [b, e] : ranges_) total += e - b;
   return total;
@@ -90,7 +90,7 @@ std::int64_t ShardWriteTracker::covered() const {
 
 void ShardWriteTracker::expect_exact_cover(std::int64_t begin,
                                            std::int64_t end) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::Lock lock(mu_);
   std::int64_t cursor = begin;
   bool exact = true;
   for (const auto& [b, e] : ranges_) {

@@ -21,12 +21,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sync/sync.hpp"
 
 namespace darnet::check {
 
@@ -83,10 +84,11 @@ class ShardWriteTracker {
   void expect_exact_cover(std::int64_t begin, std::int64_t end) const;
 
  private:
-  mutable std::mutex mu_;
-  const char* what_;
+  mutable sync::Mutex mu_{"check/shard_tracker"};
+  const char* const what_;
   // Kept sorted by begin; adjacent ranges are disjoint by construction.
-  std::vector<std::pair<std::int64_t, std::int64_t>> ranges_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges_
+      DARNET_GUARDED_BY(mu_);
 };
 
 }  // namespace darnet::check

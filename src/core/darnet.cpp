@@ -104,7 +104,7 @@ std::shared_ptr<engine::EnsembleClassifier> DarNet::ensemble_ptr(
 Tensor DarNet::classify(const Tensor& frames, const Tensor& imu_windows,
                         engine::ArchitectureKind kind) {
   if (!trained_) throw std::logic_error("DarNet::classify before train()");
-  return ensemble(kind).classify(frames, imu_windows);
+  return ensemble(kind).classify_batch(frames, imu_windows);
 }
 
 namespace {

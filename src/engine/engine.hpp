@@ -7,13 +7,18 @@
 //     `std::shared_ptr`s to their models; callers that keep owning the
 //     model elsewhere can pass a non-owning handle via `engine::borrow`.
 //     The old reference/raw-pointer constructors remain as thin deprecated
-//     shims (they borrow) so existing code keeps compiling.
+//     shims (they borrow), but are compiled out unless
+//     DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS is defined. Tests receive the
+//     gate from CMake (darnet_test()); everything else must use the
+//     owning constructors / engine::borrow, and darnet_lint
+//     (engine-deprecated-shim) rejects any attempt to re-enable the gate
+//     outside src/engine/.
 //   * Requests and results are value types. `ClassifyRequest` carries a
 //     session id, a deadline and the two modality tensors;
 //     `ClassifyResult` carries the smoothed per-session verdict, measured
 //     latency and whether the degraded path served it. The raw
 //     Tensor-in/Tensor-out `classify` remains as a deprecated shim over
-//     the batched entry point `classify_batch`.
+//     the batched entry point `classify_batch`, behind the same gate.
 //   * Batched entry points (`classify_batch`, `classify_batch_degraded`)
 //     are the primitives the serving tier (src/serve) coalesces
 //     micro-batches onto.
@@ -66,9 +71,11 @@ class NeuralClassifier final : public ProbabilisticClassifier {
   NeuralClassifier(std::shared_ptr<nn::Layer> model, int num_classes,
                    std::string label);
 
+#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
   /// Deprecated borrowing shim: `model` must outlive the classifier.
   NeuralClassifier(nn::Layer& model, int num_classes, std::string label)
       : NeuralClassifier(borrow(model), num_classes, std::move(label)) {}
+#endif
 
   [[nodiscard]] Tensor probabilities(const Tensor& inputs) override;
   [[nodiscard]] int num_classes() const override { return classes_; }
@@ -85,9 +92,11 @@ class SvmClassifier final : public ProbabilisticClassifier {
  public:
   explicit SvmClassifier(std::shared_ptr<svm::LinearSvm> model);
 
+#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
   /// Deprecated borrowing shim: `model` must outlive the classifier.
   explicit SvmClassifier(svm::LinearSvm& model)
       : SvmClassifier(borrow(model)) {}
+#endif
 
   [[nodiscard]] Tensor probabilities(const Tensor& inputs) override;
   [[nodiscard]] int num_classes() const override {
@@ -138,6 +147,7 @@ class EnsembleClassifier {
                      std::shared_ptr<ProbabilisticClassifier> imu_model,
                      bayes::ClassMap class_map);
 
+#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
   /// Deprecated borrowing shim: models are caller-owned and must outlive
   /// the ensemble (the historical contract, now explicit via borrow()).
   EnsembleClassifier(ProbabilisticClassifier& frame_model,
@@ -148,6 +158,7 @@ class EnsembleClassifier {
             imu_model ? borrow(*imu_model)
                       : std::shared_ptr<ProbabilisticClassifier>(),
             std::move(class_map)) {}
+#endif
 
   /// Fit the combiner CPTs on training-set outputs. No-op for CNN-only.
   void fit(const Tensor& frames, const Tensor& imu_windows,
@@ -176,11 +187,13 @@ class EnsembleClassifier {
                                         SessionState& session,
                                         const StreamingConfig& config);
 
+#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
   /// Deprecated shim: raw Tensor-in/Tensor-out surface (== classify_batch).
   [[nodiscard]] Tensor classify(const Tensor& frames,
                                 const Tensor& imu_windows) {
     return classify_batch(frames, imu_windows);
   }
+#endif
 
   [[nodiscard]] std::vector<int> predict(const Tensor& frames,
                                          const Tensor& imu_windows);
@@ -215,11 +228,13 @@ class AnalyticsEngine {
   void register_stream(const std::string& stream,
                        std::shared_ptr<ProbabilisticClassifier> model);
 
+#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
   /// Deprecated borrowing shim: `model` must outlive the registry.
   void register_stream(const std::string& stream,
                        ProbabilisticClassifier& model) {
     register_stream(stream, borrow(model));
   }
+#endif
 
   [[nodiscard]] bool has_stream(const std::string& stream) const;
   [[nodiscard]] ProbabilisticClassifier& model_for(const std::string& stream);

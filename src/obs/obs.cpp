@@ -7,10 +7,11 @@
 #include <fstream>
 #include <iomanip>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "sync/sync.hpp"
 
 namespace darnet::obs {
 
@@ -112,14 +113,19 @@ bool valid_metric_name(std::string_view name) noexcept {
 }
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
+  mutable sync::Mutex mu{"obs/registry"};
   // std::map: stable addresses are irrelevant (values are unique_ptrs) but
   // sorted iteration gives deterministic JSON for free.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      DARNET_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      DARNET_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      DARNET_GUARDED_BY(mu);
 
+  // REQUIRES: mu held (reads all three kind maps).
   void check_name(std::string_view name, std::string_view kind) const {
+    DARNET_ASSERT_HELD(mu);
     if (!valid_metric_name(name)) {
       throw std::invalid_argument(
           "obs::MetricsRegistry: invalid metric name '" + std::string(name) +
@@ -141,7 +147,7 @@ MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
 MetricsRegistry::~MetricsRegistry() = default;
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  sync::Lock lock(impl_->mu);
   impl_->check_name(name, "counter");
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end()) {
@@ -153,7 +159,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  sync::Lock lock(impl_->mu);
   impl_->check_name(name, "gauge");
   auto it = impl_->gauges.find(name);
   if (it == impl_->gauges.end()) {
@@ -164,7 +170,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  sync::Lock lock(impl_->mu);
   impl_->check_name(name, "histogram");
   auto it = impl_->histograms.find(name);
   if (it == impl_->histograms.end()) {
@@ -176,7 +182,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  sync::Lock lock(impl_->mu);
   return impl_->counters.size() + impl_->gauges.size() +
          impl_->histograms.size();
 }
@@ -204,7 +210,7 @@ void append_double(std::ostringstream& out, double v) {
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  sync::Lock lock(impl_->mu);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -258,7 +264,7 @@ void MetricsRegistry::write_json(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  sync::Lock lock(impl_->mu);
   for (auto& [_, c] : impl_->counters) c->reset();
   for (auto& [_, g] : impl_->gauges) g->reset();
   for (auto& [_, h] : impl_->histograms) h->reset();
@@ -293,8 +299,8 @@ struct Ring {
   std::uint32_t tid;
 };
 
-std::mutex& trace_mu() {
-  static std::mutex mu;
+sync::Mutex& trace_mu() {
+  static sync::Mutex mu{"obs/trace"};
   return mu;
 }
 
@@ -306,7 +312,7 @@ std::vector<std::unique_ptr<Ring>>& trace_rings() {
 Ring& local_ring() {
   thread_local Ring* ring = nullptr;
   if (ring == nullptr) {
-    std::lock_guard<std::mutex> lock(trace_mu());
+    sync::Lock lock(trace_mu());
     auto& rings = trace_rings();
     rings.push_back(
         std::make_unique<Ring>(static_cast<std::uint32_t>(rings.size())));
@@ -349,7 +355,7 @@ SpanScope::~SpanScope() {
 }
 
 std::size_t trace_event_count() {
-  std::lock_guard<std::mutex> lock(trace_mu());
+  sync::Lock lock(trace_mu());
   std::size_t total = 0;
   for (const auto& ring : trace_rings()) {
     total += static_cast<std::size_t>(
@@ -360,7 +366,7 @@ std::size_t trace_event_count() {
 }
 
 std::uint64_t trace_recorded_total() {
-  std::lock_guard<std::mutex> lock(trace_mu());
+  sync::Lock lock(trace_mu());
   std::uint64_t total = 0;
   for (const auto& ring : trace_rings()) {
     total += ring->recorded.load(std::memory_order_relaxed);
@@ -369,7 +375,7 @@ std::uint64_t trace_recorded_total() {
 }
 
 void clear_trace() {
-  std::lock_guard<std::mutex> lock(trace_mu());
+  sync::Lock lock(trace_mu());
   for (const auto& ring : trace_rings()) {
     ring->recorded.store(0, std::memory_order_relaxed);
   }
@@ -378,7 +384,7 @@ void clear_trace() {
 std::string trace_json() {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(trace_mu());
+    sync::Lock lock(trace_mu());
     for (const auto& ring : trace_rings()) {
       const std::uint64_t recorded =
           ring->recorded.load(std::memory_order_relaxed);

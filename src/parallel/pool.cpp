@@ -32,12 +32,12 @@ int env_thread_count() noexcept {
 
 // Global pool state. The pool is recreated when set_thread_count changes
 // the effective count; a mutex guards the (rare) accessor path.
-std::mutex g_pool_mu;
+sync::Mutex g_pool_mu{"parallel/global_pool"};
 std::shared_ptr<ThreadPool> g_pool;          // guarded by g_pool_mu
 std::atomic<int> g_thread_count{0};          // 0 = not yet initialised
 
 std::shared_ptr<ThreadPool> acquire_pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  sync::Lock lock(g_pool_mu);
   if (!g_pool) {
     g_pool = std::make_shared<ThreadPool>(thread_count() - 1);
     DARNET_GAUGE_SET("parallel/threads", thread_count());
@@ -48,16 +48,25 @@ std::shared_ptr<ThreadPool> acquire_pool() {
 }  // namespace
 
 struct ThreadPool::Region {
-  std::int64_t begin{0};
-  std::int64_t chunk{1};
-  std::int64_t nchunks{0};
-  const RangeBody* body{nullptr};
-  std::int64_t end{0};
+  Region(std::int64_t begin_in, std::int64_t end_in, std::int64_t chunk_in,
+         std::int64_t nchunks_in, const RangeBody* body_in)
+      : begin(begin_in),
+        chunk(chunk_in),
+        nchunks(nchunks_in),
+        body(body_in),
+        end(end_in) {}
+
+  // Geometry is fixed before the region is published to the workers.
+  const std::int64_t begin;
+  const std::int64_t chunk;
+  const std::int64_t nchunks;
+  const RangeBody* const body;
+  const std::int64_t end;
 
   std::atomic<std::int64_t> next{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr error;
+  sync::Mutex error_mu{"parallel/region_error"};
+  std::exception_ptr error DARNET_GUARDED_BY(error_mu);
 #ifdef DARNET_CHECKED
   /// Chunk accounting (checked builds): every chunk claimed must be
   /// executed exactly once; on clean completion executed == nchunks.
@@ -65,7 +74,7 @@ struct ThreadPool::Region {
 #endif
 };
 
-ThreadPool::ThreadPool(int workers) {
+ThreadPool::ThreadPool(int workers) : worker_count_(workers) {
   if (workers < 0 || workers > kMaxThreads) {
     throw std::invalid_argument("ThreadPool: invalid worker count");
   }
@@ -76,12 +85,19 @@ ThreadPool::ThreadPool(int workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Claim the threads under mu_, then notify and join with no lock held:
+  // a join under mu_ would deadlock against workers re-acquiring it to
+  // decrement pending_, and notifying under the lock just makes the woken
+  // thread immediately block on it.
+  std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::Lock lock(mu_);
     stop_ = true;
+    threads.swap(threads_);
   }
+  DARNET_ASSERT_NOT_HELD(mu_);
   wake_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads) t.join();
 }
 
 void ThreadPool::run_chunks(Region& region) {
@@ -102,7 +118,7 @@ void ThreadPool::run_chunks(Region& region) {
     try {
       (*region.body)(b, e);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region.error_mu);
+      sync::Lock lock(region.error_mu);
       if (!region.error) region.error = std::current_exception();
       region.failed.store(true, std::memory_order_relaxed);
     }
@@ -115,7 +131,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Region* region = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      sync::UniqueLock lock(mu_);
       wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
@@ -124,10 +140,13 @@ void ThreadPool::worker_loop() {
     DARNET_CHECK_MSG(region != nullptr,
                      "ThreadPool::worker_loop: woken without a region");
     run_chunks(*region);
+    bool last = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_.notify_all();
+      sync::Lock lock(mu_);
+      last = (--pending_ == 0);
     }
+    // Notify outside the lock so the woken caller never bounces off mu_.
+    if (last) done_.notify_all();
   }
 }
 
@@ -153,16 +172,11 @@ void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
   DARNET_COUNTER_ADD("parallel/regions_total", 1);
   DARNET_COUNTER_ADD("parallel/chunks_total", nchunks);
 
-  std::lock_guard<std::mutex> submit(submit_mu_);
-  Region region;
-  region.begin = begin;
-  region.end = end;
-  region.chunk = chunk;
-  region.nchunks = nchunks;
-  region.body = &body;
+  sync::Lock submit(submit_mu_);
+  Region region(begin, end, chunk, nchunks, &body);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::Lock lock(mu_);
     DARNET_CHECK_MSG(region_ == nullptr && pending_ == 0,
                      "ThreadPool::for_range: region installed while a "
                      "previous region is still draining");
@@ -175,7 +189,7 @@ void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
   run_chunks(region);  // the caller participates
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::UniqueLock lock(mu_);
     done_.wait(lock, [&] { return pending_ == 0; });
     region_ = nullptr;
   }
@@ -209,9 +223,17 @@ void set_thread_count(int count) {
   }
   DARNET_CHECK_MSG(!t_in_region,
                    "set_thread_count called from inside a parallel region");
-  std::lock_guard<std::mutex> lock(g_pool_mu);
-  g_thread_count.store(count, std::memory_order_release);
-  g_pool.reset();  // lazily recreated at the new size
+  // Swap the pool out under the lock and let the old one be destroyed
+  // afterwards: ~ThreadPool joins its workers, and a join must never run
+  // while g_pool_mu is held.
+  std::shared_ptr<ThreadPool> old;
+  {
+    sync::Lock lock(g_pool_mu);
+    g_thread_count.store(count, std::memory_order_release);
+    old.swap(g_pool);  // lazily recreated at the new size
+  }
+  DARNET_ASSERT_NOT_HELD(g_pool_mu);
+  old.reset();
   DARNET_GAUGE_SET("parallel/threads", count);
 }
 

@@ -21,13 +21,13 @@
 // be overridden programmatically with `set_thread_count` (tests, benches).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sync/sync.hpp"
 
 namespace darnet::parallel {
 
@@ -47,9 +47,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] int workers() const noexcept {
-    return static_cast<int>(threads_.size());
-  }
+  [[nodiscard]] int workers() const noexcept { return worker_count_; }
   /// Total concurrency (workers + the calling thread).
   [[nodiscard]] int concurrency() const noexcept { return workers() + 1; }
 
@@ -64,17 +62,24 @@ class ThreadPool {
   void worker_loop();
   static void run_chunks(Region& region);
 
-  std::vector<std::thread> threads_;
+  const int worker_count_;
 
-  std::mutex mu_;                  // guards region_/epoch_/pending_/stop_
-  std::condition_variable wake_;   // workers wait here for a new region
-  std::condition_variable done_;   // caller waits here for completion
-  Region* region_{nullptr};
-  std::uint64_t epoch_{0};
-  int pending_{0};  // workers still draining the current region
-  bool stop_{false};
+  // Swapped out under mu_ by the destructor and joined lock-free (no lock
+  // may be held across a join).
+  std::vector<std::thread> threads_ DARNET_GUARDED_BY(mu_);
 
-  std::mutex submit_mu_;  // serialises concurrent for_range callers
+  sync::Mutex mu_{"parallel/pool"};
+  sync::CondVar wake_;  // workers wait here for a new region
+  sync::CondVar done_;  // caller waits here for completion
+  Region* region_ DARNET_GUARDED_BY(mu_){nullptr};
+  std::uint64_t epoch_ DARNET_GUARDED_BY(mu_){0};
+  // Workers still draining the current region.
+  int pending_ DARNET_GUARDED_BY(mu_){0};
+  bool stop_ DARNET_GUARDED_BY(mu_){false};
+
+  // Serialises concurrent for_range callers; always acquired before mu_
+  // (lock order: parallel/pool_submit -> parallel/pool).
+  sync::Mutex submit_mu_{"parallel/pool_submit"};
 };
 
 /// Effective thread count: `set_thread_count` override if any, else the
@@ -129,7 +134,8 @@ class ServiceThread {
   void join();
 
  private:
-  std::thread thread_;
+  // Owner-confined: only the constructing/moving thread joins it.
+  std::thread thread_ DARNET_THREAD_LOCAL;
 };
 
 }  // namespace darnet::parallel

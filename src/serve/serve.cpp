@@ -98,7 +98,7 @@ Server::Submission Server::submit(engine::ClassifyRequest request) {
   // run while mu_ is held.
   std::optional<Pending> shed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::Lock lock(mu_);
     ++stats_.submitted;
     DARNET_COUNTER_ADD("serve/requests_submitted_total", 1);
     if (draining_) {
@@ -153,7 +153,7 @@ void Server::worker_loop() {
     bool degraded = false;
     bool more = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      sync::UniqueLock lock(mu_);
       // Batch-formation policy: flush once `max_batch` requests are queued
       // or the oldest has waited `max_delay_us`, whichever comes first;
       // drain flushes immediately.
@@ -253,7 +253,7 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
       }
       const Tensor frame_batch = tensor::stack_rows(frames);
       const Tensor imu_batch = want_imu ? tensor::stack_rows(imu) : Tensor{};
-      std::lock_guard<std::mutex> exec(exec_mu_);
+      sync::Lock exec(exec_mu_);
       DARNET_TIMER("serve/batch_execute_ns");
       fused = degraded
                   ? ensemble_->classify_batch_degraded(frame_batch, imu_batch)
@@ -269,7 +269,7 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
   // This block runs for every ticket (even all-expired or failed batches)
   // so the ordering chain never stalls.
   {
-    std::unique_lock<std::mutex> lock(apply_mu_);
+    sync::UniqueLock lock(apply_mu_);
     apply_cv_.wait(lock, [&] { return next_apply_ == ticket; });
     if (!live.empty() && !error) {
       DARNET_SPAN("serve/scatter_rows");
@@ -306,7 +306,7 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::Lock lock(mu_);
     stats_.timeouts += expired.size();
     if (!live.empty()) {
       ++stats_.batches;
@@ -327,17 +327,28 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
   }
 }
 
+// REQUIRES: mu_ free. Futures may have continuations attached; resolving
+// one while holding the admission lock could re-enter submit() and
+// self-deadlock.
 void Server::complete(Pending& pending, Response response) {
+  DARNET_ASSERT_NOT_HELD(mu_);
   pending.promise.set_value(std::move(response));
 }
 
 void Server::drain() {
+  // Claim the workers under mu_, then join with no lock held: joins (and
+  // the notify that precedes them) must never run under the admission
+  // lock, and the swap makes concurrent drain() calls race-free -- only
+  // one caller gets the threads, later callers see an empty vector.
+  std::vector<parallel::ServiceThread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::Lock lock(mu_);
     draining_ = true;
+    workers.swap(workers_);
   }
+  DARNET_ASSERT_NOT_HELD(mu_);
   work_cv_.notify_all();
-  for (auto& worker : workers_) {
+  for (auto& worker : workers) {
     worker.join();  // workers flush the queue before exiting
   }
   DARNET_CHECK_MSG(queue_depth() == 0,
@@ -345,22 +356,22 @@ void Server::drain() {
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::Lock lock(mu_);
   return stats_;
 }
 
 std::size_t Server::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::Lock lock(mu_);
   return queue_.size();
 }
 
 bool Server::degraded_mode() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::Lock lock(mu_);
   return degraded_;
 }
 
 engine::SessionState Server::session(std::uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  sync::Lock lock(apply_mu_);
   const auto it = sessions_.find(session_id);
   return it == sessions_.end() ? engine::SessionState{} : it->second;
 }

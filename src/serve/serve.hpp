@@ -41,18 +41,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
 #include "parallel/pool.hpp"
+#include "sync/sync.hpp"
 
 namespace darnet::serve {
 
@@ -169,33 +168,42 @@ class Server {
   void worker_loop();
   void execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
                      bool degraded);
-  static void complete(Pending& pending, Response response);
+  // Resolves a request's promise. REQUIRES: mu_ free (promise
+  // continuations must never run under the admission lock).
+  void complete(Pending& pending, Response response);
 
-  std::shared_ptr<engine::EnsembleClassifier> ensemble_;
-  ServerConfig config_;
+  const std::shared_ptr<engine::EnsembleClassifier> ensemble_;
+  const ServerConfig config_;
+
+  // Lock hierarchy (DESIGN.md "Concurrency model"): mu_ -> exec_mu_ ->
+  // apply_mu_. No method currently nests two of them, but the order graph
+  // enforces the documented direction the moment anyone does.
 
   // Admission + batch formation. deque is the FIFO; capacity is enforced
   // at every push (see the serve-bounded-queue lint rule).
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Pending> queue_;
-  bool draining_{false};
-  bool degraded_{false};
-  std::uint64_t next_ticket_{0};
-  Stats stats_;
+  mutable sync::Mutex mu_{"serve/admission"};
+  sync::CondVar work_cv_;
+  std::deque<Pending> queue_ DARNET_GUARDED_BY(mu_);
+  bool draining_ DARNET_GUARDED_BY(mu_){false};
+  bool degraded_ DARNET_GUARDED_BY(mu_){false};
+  std::uint64_t next_ticket_ DARNET_GUARDED_BY(mu_){0};
+  Stats stats_ DARNET_GUARDED_BY(mu_);
 
   // Serialises fused passes: the underlying models keep forward caches,
   // so at most one batch may be inside the ensemble at a time.
-  std::mutex exec_mu_;
+  sync::Mutex exec_mu_{"serve/exec"};
 
   // Session scatter, applied strictly in ticket order so per-session
   // state advances in admission order with any worker count.
-  mutable std::mutex apply_mu_;
-  std::condition_variable apply_cv_;
-  std::uint64_t next_apply_{0};
-  std::unordered_map<std::uint64_t, engine::SessionState> sessions_;
+  mutable sync::Mutex apply_mu_{"serve/apply"};
+  sync::CondVar apply_cv_;
+  std::uint64_t next_apply_ DARNET_GUARDED_BY(apply_mu_){0};
+  std::unordered_map<std::uint64_t, engine::SessionState> sessions_
+      DARNET_GUARDED_BY(apply_mu_);
 
-  std::vector<parallel::ServiceThread> workers_;
+  // Swapped out under mu_ by the first drain() and joined lock-free, so
+  // concurrent drains are safe and no lock is held across a join.
+  std::vector<parallel::ServiceThread> workers_ DARNET_GUARDED_BY(mu_);
 };
 
 }  // namespace darnet::serve

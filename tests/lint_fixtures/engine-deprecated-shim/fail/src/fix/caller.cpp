@@ -1,0 +1,3 @@
+// Fixture: re-enabling the deprecated engine shim API by hand.
+#define DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS 1
+int shimmed() { return 0; }

@@ -1,0 +1,5 @@
+// Fixture: src/engine/ may name the gate (it guards the shims there).
+#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
+int shims_enabled() { return 1; }
+#endif
+int shims_gated() { return 0; }

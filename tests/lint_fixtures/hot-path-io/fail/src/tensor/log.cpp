@@ -1,0 +1,3 @@
+// Fixture: console I/O inside a tensor hot path.
+#include <cstdio>
+void trace_value(float v) { printf("%f\n", static_cast<double>(v)); }

@@ -1,0 +1,3 @@
+// Fixture: the same I/O is fine outside src/tensor and src/nn.
+#include <cstdio>
+void trace_value(float v) { printf("%f\n", static_cast<double>(v)); }

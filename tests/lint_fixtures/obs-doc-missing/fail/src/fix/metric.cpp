@@ -1,0 +1,2 @@
+// Fixture: registered metric with no docs/OBSERVABILITY.md table row.
+void bump() { DARNET_COUNTER_ADD("fix/events_total", 1); }

@@ -1,0 +1,2 @@
+// Fixture: registered metric with its documentation row present.
+void bump() { DARNET_COUNTER_ADD("fix/events_total", 1); }

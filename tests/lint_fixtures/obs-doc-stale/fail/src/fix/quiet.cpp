@@ -1,0 +1,2 @@
+// Fixture: registers nothing; the documented row below is stale.
+int nothing() { return 0; }

@@ -1,0 +1,2 @@
+// Fixture: the documented name is still registered.
+void bump() { DARNET_COUNTER_ADD("fix/events_total", 1); }

@@ -1,0 +1,6 @@
+// Fixture: metric name passed through a variable, not a string literal --
+// the documented contract must be statically extractable.
+void bump() {
+  const char* name = "fix/events_total";
+  DARNET_COUNTER_ADD(name, 1);
+}

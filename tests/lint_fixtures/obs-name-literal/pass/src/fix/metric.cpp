@@ -1,0 +1,2 @@
+// Fixture: literal metric name, documented in docs/OBSERVABILITY.md.
+void bump() { DARNET_COUNTER_ADD("fix/events_total", 1); }

@@ -1,0 +1,4 @@
+// Fixture: header missing the required include guard.
+namespace fix {
+inline int identity(int x) { return x; }
+}  // namespace fix

@@ -1,0 +1,5 @@
+// Fixture: header with the required include guard.
+#pragma once
+namespace fix {
+inline int identity(int x) { return x; }
+}  // namespace fix

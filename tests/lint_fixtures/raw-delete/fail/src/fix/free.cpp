@@ -1,0 +1,2 @@
+// Fixture: raw delete expression.
+void destroy(int* p) { delete p; }

@@ -1,0 +1,6 @@
+// Fixture: `= delete` declarations are allowed (not a delete expression).
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};

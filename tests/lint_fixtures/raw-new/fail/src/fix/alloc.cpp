@@ -1,0 +1,2 @@
+// Fixture: raw new expression (ownership must be RAII-managed).
+int* leak() { return new int(7); }

@@ -1,0 +1,3 @@
+// Fixture: allocation through make_unique is the sanctioned form.
+#include <memory>
+std::unique_ptr<int> owned() { return std::make_unique<int>(7); }

@@ -1,0 +1,4 @@
+// Fixture: src/sync/ is exempt from raw-new -- the lock-order checker
+// immortalises its graph state on purpose (never destroyed, so locks
+// taken during static/TLS destruction cannot touch a dead object).
+int* immortal_state() { return new int(1); }

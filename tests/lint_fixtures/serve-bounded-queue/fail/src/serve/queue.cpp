@@ -1,0 +1,6 @@
+// Fixture: push into a queue member with no visible capacity guard.
+#include <deque>
+struct Admission {
+  std::deque<int> queue_;
+  void add(int v) { queue_.push_back(v); }
+};

@@ -1,0 +1,11 @@
+// Fixture: the push is guarded against the configured capacity.
+#include <cstddef>
+#include <deque>
+struct Admission {
+  std::deque<int> queue_;
+  std::size_t capacity_ = 8;
+  void add(int v) {
+    if (queue_.size() >= capacity_) return;
+    queue_.push_back(v);
+  }
+};

@@ -1,0 +1,9 @@
+// Fixture: a REQUIRES marker on a definition with no matching assertion.
+#include "sync/sync.hpp"
+struct Registry {
+  darnet::sync::Mutex mu{"fix/registry"};
+  int count DARNET_GUARDED_BY(mu) = 0;
+
+  // REQUIRES: mu held (reads count).
+  int snapshot() { return count; }
+};

@@ -1,0 +1,12 @@
+// Fixture: the lock precondition is executable, not prose.
+#include "sync/sync.hpp"
+struct Registry {
+  darnet::sync::Mutex mu{"fix/registry"};
+  int count DARNET_GUARDED_BY(mu) = 0;
+
+  // REQUIRES: mu held (reads count).
+  int snapshot() {
+    DARNET_ASSERT_HELD(mu);
+    return count;
+  }
+};

@@ -1,0 +1,10 @@
+// Fixture: lock-owning class with an unannotated mutable member.
+#include "sync/sync.hpp"
+class Counter {
+ public:
+  void bump();
+
+ private:
+  darnet::sync::Mutex mu_{"fix/counter"};
+  int value_ = 0;
+};

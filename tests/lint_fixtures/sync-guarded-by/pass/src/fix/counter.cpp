@@ -1,0 +1,14 @@
+// Fixture: every member of a lock-owning class declares its discipline.
+#include <atomic>
+#include "sync/sync.hpp"
+class Counter {
+ public:
+  void bump();
+
+ private:
+  darnet::sync::Mutex mu_{"fix/counter"};
+  int value_ DARNET_GUARDED_BY(mu_) = 0;
+  std::atomic<int> peeks_{0};
+  static constexpr int kStep = 1;
+  const char* label_ DARNET_THREAD_LOCAL = "fix";
+};

@@ -1,0 +1,6 @@
+// Fixture: raw standard-library lock outside src/sync/.
+#include <mutex>
+std::mutex g_mu;
+void touch() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}

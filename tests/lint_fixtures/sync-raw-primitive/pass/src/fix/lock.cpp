@@ -1,0 +1,4 @@
+// Fixture: locking flows through the sync wrappers.
+#include "sync/sync.hpp"
+namespace { darnet::sync::Mutex g_mu{"fix/lock"}; }
+void touch() { darnet::sync::Lock lock(g_mu); }

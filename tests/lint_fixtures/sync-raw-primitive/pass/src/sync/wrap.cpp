@@ -1,0 +1,4 @@
+// Fixture: src/sync/ itself is the one place allowed to name the raw
+// primitives (it wraps them).
+#include <mutex>
+std::mutex g_raw;

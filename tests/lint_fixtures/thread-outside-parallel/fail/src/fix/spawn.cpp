@@ -1,0 +1,6 @@
+// Fixture: std::thread outside src/parallel/.
+#include <thread>
+void spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,6 @@
+// Fixture: src/parallel/ owns all thread creation in the tree.
+#include <thread>
+void spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,6 @@
+// Fixture: unseeded standard-library RNG.
+#include <random>
+int roll() {
+  std::mt19937 generator;
+  return static_cast<int>(generator());
+}

@@ -1,0 +1,3 @@
+// Fixture: std::mt19937 may be *mentioned* in comments; code routes all
+// randomness through an explicitly seeded generator (util::Rng idiom).
+int roll(unsigned seed) { return static_cast<int>(seed * 1103515245u); }

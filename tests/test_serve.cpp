@@ -9,9 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -54,14 +52,14 @@ engine::ClassifyRequest make_request(std::uint64_t session,
 /// Blocks inside probabilities() until release() -- lets tests hold a
 /// batch inside the ensemble while they fill the admission queue.
 struct GatedClassifier final : engine::ProbabilisticClassifier {
-  std::mutex mu;
-  std::condition_variable cv;
-  int entered{0};
-  int calls{0};
-  bool open{true};
+  sync::Mutex mu{"test/gate"};
+  sync::CondVar cv;
+  int entered DARNET_GUARDED_BY(mu){0};
+  int calls DARNET_GUARDED_BY(mu){0};
+  bool open DARNET_GUARDED_BY(mu){true};
 
   Tensor probabilities(const Tensor& inputs) override {
-    std::unique_lock<std::mutex> lock(mu);
+    sync::UniqueLock lock(mu);
     ++entered;
     ++calls;
     cv.notify_all();
@@ -74,19 +72,19 @@ struct GatedClassifier final : engine::ProbabilisticClassifier {
   std::string describe() const override { return "gated"; }
 
   void close_gate() {
-    std::lock_guard<std::mutex> lock(mu);
+    sync::Lock lock(mu);
     open = false;
   }
   void release() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::Lock lock(mu);
       open = true;
     }
     cv.notify_all();
   }
   /// Wait until `n` calls have entered (i.e. a batch is inside the model).
   void await_entered(int n) {
-    std::unique_lock<std::mutex> lock(mu);
+    sync::UniqueLock lock(mu);
     cv.wait(lock, [&] { return entered >= n; });
   }
 };
@@ -429,7 +427,7 @@ TEST(ServeDegraded, WatermarkHysteresisSkipsTheFrameModel) {
   }
   EXPECT_TRUE(server.degraded_mode());
   {
-    std::lock_guard<std::mutex> lock(gate->mu);
+    sync::Lock lock(gate->mu);
     EXPECT_EQ(gate->calls, 1);
   }
 
@@ -440,7 +438,7 @@ TEST(ServeDegraded, WatermarkHysteresisSkipsTheFrameModel) {
   EXPECT_FALSE(recovered.response.get().result.degraded);
   EXPECT_FALSE(server.degraded_mode());
   {
-    std::lock_guard<std::mutex> lock(gate->mu);
+    sync::Lock lock(gate->mu);
     EXPECT_EQ(gate->calls, 2);
   }
 

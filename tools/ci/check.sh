@@ -18,6 +18,12 @@
 #            observability on) and run it with DARNET_OBS_DUMP set,
 #            asserting it exits 0 and writes a non-empty metrics.json --
 #            the end-to-end proof that the serve/* instrumentation flows
+#   sync-stress
+#            concurrency-correctness stress: Debug + ThreadSanitizer with
+#            DARNET_CHECKED=ON explicit, building only the lock-heavy
+#            suites (test_sync, test_serve, test_parallel) and repeating
+#            them until-fail:2 -- the lock-order graph, held-lock stack
+#            and CV watchdog run under tsan at the same time
 #
 # Usage:
 #   tools/ci/check.sh                # run every leg
@@ -25,6 +31,9 @@
 #   JOBS=4 tools/ci/check.sh         # override build parallelism
 #
 # Exits nonzero if ANY leg fails to configure, build, or pass its tests.
+# Besides the human-readable "=== matrix summary ===", the script writes
+# ${BUILD_ROOT}/check_summary.json: one entry per requested leg with
+# status (pass/fail), the failing stage if any, and wall-clock seconds.
 
 set -u
 
@@ -32,7 +41,7 @@ ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
-ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve)
+ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sync-stress)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -40,6 +49,7 @@ fi
 
 FAILED=()
 PASSED=()
+declare -A LEG_SECONDS
 
 run_leg() {
   leg_name="$1"
@@ -107,7 +117,38 @@ run_serve_smoke() {
   return 0
 }
 
+# sync-stress leg: tsan + checked invariants on the lock-heavy suites
+# only, repeated so rare interleavings (teardown races, CV handoffs) get
+# more than one chance to bite.
+run_sync_stress() {
+  leg_dir="${BUILD_ROOT}/sync-stress"
+  echo
+  echo "=== [sync-stress] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON \
+       -DCMAKE_BUILD_TYPE=Debug -DDARNET_SANITIZE=thread \
+       -DDARNET_CHECKED=ON; then
+    FAILED+=("sync-stress (configure)")
+    return 1
+  fi
+  echo "=== [sync-stress] build (-j${JOBS}) ==="
+  if ! cmake --build "${leg_dir}" -j "${JOBS}" \
+       --target test_sync --target test_serve --target test_parallel; then
+    FAILED+=("sync-stress (build)")
+    return 1
+  fi
+  echo "=== [sync-stress] stress ==="
+  if ! ctest --test-dir "${leg_dir}" --output-on-failure \
+       -R '^(test_sync|test_serve|test_parallel)$' \
+       --repeat until-fail:2; then
+    FAILED+=("sync-stress (test)")
+    return 1
+  fi
+  PASSED+=("sync-stress")
+  return 0
+}
+
 for leg in "${LEGS[@]}"; do
+  leg_start=${SECONDS}
   case "${leg}" in
     default)
       run_leg default -DCMAKE_BUILD_TYPE=Release -DDARNET_CHECKED=OFF
@@ -133,22 +174,69 @@ for leg in "${LEGS[@]}"; do
     serve)
       run_serve_smoke
       ;;
+    sync-stress)
+      run_sync_stress
+      ;;
     *)
       echo "check.sh: unknown leg '${leg}'" \
            "(expected: ${ALL_LEGS[*]})" >&2
       exit 2
       ;;
   esac
+  LEG_SECONDS["${leg}"]=$((SECONDS - leg_start))
 done
 
 echo
 echo "=== matrix summary ==="
 for leg in "${PASSED[@]+"${PASSED[@]}"}"; do
-  echo "  PASS ${leg}"
+  echo "  PASS ${leg} (${LEG_SECONDS[${leg}]:-0}s)"
 done
 for leg in "${FAILED[@]+"${FAILED[@]}"}"; do
   echo "  FAIL ${leg}"
 done
+
+# Machine-readable mirror of the matrix summary.
+write_summary_json() {
+  summary="${BUILD_ROOT}/check_summary.json"
+  mkdir -p "${BUILD_ROOT}"
+  {
+    echo '{'
+    echo '  "legs": ['
+    first=1
+    for leg in "${LEGS[@]}"; do
+      status="fail"
+      stage=""
+      for p in "${PASSED[@]+"${PASSED[@]}"}"; do
+        [ "${p}" = "${leg}" ] && status="pass"
+      done
+      for f in "${FAILED[@]+"${FAILED[@]}"}"; do
+        case "${f}" in
+          "${leg} ("*)
+            stage="${f#"${leg} ("}"
+            stage="${stage%)}"
+            ;;
+        esac
+      done
+      [ "${first}" -eq 0 ] && printf ',\n'
+      first=0
+      printf '    {"leg": "%s", "status": "%s", "wall_seconds": %d' \
+             "${leg}" "${status}" "${LEG_SECONDS[${leg}]:-0}"
+      if [ -n "${stage}" ]; then
+        printf ', "stage": "%s"' "${stage}"
+      fi
+      printf '}'
+    done
+    printf '\n  ],\n'
+    if [ "${#FAILED[@]}" -eq 0 ]; then
+      echo '  "all_green": true'
+    else
+      echo '  "all_green": false'
+    fi
+    echo '}'
+  } > "${summary}"
+  echo "wrote ${summary}"
+}
+write_summary_json
 
 if [ "${#FAILED[@]}" -ne 0 ]; then
   exit 1

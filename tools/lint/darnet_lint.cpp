@@ -7,7 +7,11 @@
 //
 //   pragma-once      every .hpp must contain `#pragma once`
 //   raw-new          no raw `new` expressions (RAII everywhere: value
-//                    types, std::make_unique, containers)
+//                    types, std::make_unique, containers). src/sync/ is
+//                    exempt: the lock-order checker deliberately
+//                    immortalises its graph state (never destroyed) so
+//                    locks taken during static/TLS destruction can never
+//                    touch a destroyed object
 //   raw-delete       no `delete` expressions (`= delete` declarations are
 //                    allowed and recognised)
 //   thread-outside-parallel
@@ -37,6 +41,29 @@
 //                    guard ("capacity" in the stripped code of the
 //                    preceding 8 lines) -- the admission queue must never
 //                    grow unboundedly
+//   sync-raw-primitive
+//                    no std::mutex / std::condition_variable /
+//                    std::lock_guard / std::unique_lock / std::scoped_lock
+//                    (nor their recursive/timed/shared variants) outside
+//                    src/sync/ -- all locking flows through sync::Mutex /
+//                    sync::Lock / sync::CondVar so checked builds can
+//                    track held locks, lock order and CV waits
+//   sync-guarded-by  in any class that owns a sync::Mutex or sync::CondVar,
+//                    every mutable data member must either carry a
+//                    DARNET_GUARDED_BY / DARNET_ATOMIC /
+//                    DARNET_THREAD_LOCAL annotation or be a sync primitive
+//                    / std::atomic itself -- shared state must declare its
+//                    synchronisation discipline
+//   sync-assert-held every `REQUIRES: <mu> held` (resp. `free`) comment
+//                    attached to a function *definition* must be backed by
+//                    a DARNET_ASSERT_HELD(<mu>) (resp.
+//                    DARNET_ASSERT_NOT_HELD(<mu>)) in the function body --
+//                    lock preconditions are executable, not prose
+//   engine-deprecated-shim
+//                    the DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS gate may be
+//                    named only inside src/engine/ (where it guards the
+//                    shim declarations); tests opt in via CMake, and no
+//                    other code may re-enable the deprecated engine API
 //
 // Comments, string literals and character literals are stripped before
 // matching, so documentation may mention banned constructs freely. The
@@ -252,6 +279,31 @@ bool is_deleted_function(const std::string& code, std::size_t pos) {
   return i > 0 && code[i - 1] == '=';
 }
 
+/// Offset of the '}' matching the '{' at `open`, or npos when the file
+/// ends first. `code` must already be comment/string-stripped.
+std::size_t match_brace(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// True when `needle(name` appears in `body` with `name` ending at an
+/// identifier boundary (so `mu` never matches `DARNET_ASSERT_HELD(mut_x`).
+bool contains_call_on(const std::string& body, std::string_view needle,
+                      std::string_view name) {
+  const std::string pattern = std::string(needle) + "(" + std::string(name);
+  for (std::size_t pos = body.find(pattern); pos != std::string::npos;
+       pos = body.find(pattern, pos + 1)) {
+    const std::size_t end = pos + pattern.size();
+    if (end < body.size() && ident_char(body[end])) continue;
+    return true;
+  }
+  return false;
+}
+
 /// Matches the registry's metric-name grammar: lowercase [a-z0-9_]
 /// segments joined by '/', at least two segments (`subsystem/verb_noun`).
 bool valid_obs_name(std::string_view name) {
@@ -296,6 +348,191 @@ struct Linter {
                                line, std::move(rule), std::move(message)});
   }
 
+  /// sync-guarded-by: for every class/struct body in `code` (stripped)
+  /// that owns a sync::Mutex or sync::CondVar, each mutable data member
+  /// must declare its synchronisation discipline -- DARNET_GUARDED_BY /
+  /// DARNET_ATOMIC / DARNET_THREAD_LOCAL, or be a sync primitive /
+  /// std::atomic itself. `const`/`static` members, nested type
+  /// definitions and member function declarations are exempt.
+  void check_guarded_by(const fs::path& path, const std::string& code) {
+    for (const char* kw : {"class", "struct"}) {
+      for_each_token(code, kw, [&](std::size_t pos) {
+        // Skip `enum class` and template-parameter introducers
+        // (`template <class T>`, `<class A, class B>`).
+        std::size_t p = pos;
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+          --p;
+        }
+        if (p > 0 && (code[p - 1] == '<' || code[p - 1] == ',')) return;
+        std::size_t w = p;
+        while (w > 0 && ident_char(code[w - 1])) --w;
+        if (code.compare(w, p - w, "enum") == 0) return;
+        // A definition has '{' before the next ';'; anything else
+        // (forward declaration, elaborated type specifier) is skipped.
+        const std::size_t open = code.find_first_of("{;", pos);
+        if (open == std::string::npos || code[open] == ';') return;
+        const std::size_t close = match_brace(code, open);
+        if (close == std::string::npos) return;
+        check_class_body(path, code, open + 1, close);
+      });
+    }
+  }
+
+  /// Analyse one class body [begin, end): split it into top-level member
+  /// statements (function bodies and nested brace groups are skipped as
+  /// units) and apply the guarded-by contract when the class owns a lock.
+  void check_class_body(const fs::path& path, const std::string& code,
+                        std::size_t begin, std::size_t end) {
+    struct Stmt {
+      std::size_t offset;
+      std::string text;
+    };
+    std::vector<Stmt> stmts;
+    std::string cur;
+    std::size_t cur_off = begin;
+    bool have_off = false;
+    std::size_t i = begin;
+    while (i < end) {
+      const char c = code[i];
+      if (c == '{') {
+        const std::size_t close = match_brace(code, i);
+        if (close == std::string::npos || close > end) break;
+        std::size_t j = close + 1;
+        while (j < end &&
+               std::isspace(static_cast<unsigned char>(code[j])) != 0) {
+          ++j;
+        }
+        if (j < end && code[j] == ';') {
+          // Brace initializer (`int x_{0};`) or nested type definition:
+          // the upcoming ';' terminates the pending statement normally.
+          i = close + 1;
+          continue;
+        }
+        // Function body (or similar): the pending text was a definition
+        // header, not a member declaration.
+        cur.clear();
+        have_off = false;
+        i = close + 1;
+        continue;
+      }
+      if (c == ';') {
+        if (have_off) stmts.push_back(Stmt{cur_off, cur});
+        cur.clear();
+        have_off = false;
+        ++i;
+        continue;
+      }
+      if (!have_off &&
+          std::isspace(static_cast<unsigned char>(c)) == 0) {
+        cur_off = i;
+        have_off = true;
+      }
+      if (have_off) cur.push_back(c);
+      ++i;
+    }
+
+    // Pass 1: is this a lock-owning class?
+    bool owns_lock = false;
+    for (const Stmt& s : stmts) {
+      if (s.text.find("sync::Mutex") != std::string::npos ||
+          s.text.find("sync::CondVar") != std::string::npos) {
+        owns_lock = true;
+        break;
+      }
+    }
+    if (!owns_lock) return;
+
+    // Pass 2: every member statement must declare its discipline.
+    for (const Stmt& s : stmts) {
+      const std::string& t = s.text;
+      if (t.find("DARNET_GUARDED_BY") != std::string::npos ||
+          t.find("DARNET_ATOMIC") != std::string::npos ||
+          t.find("DARNET_THREAD_LOCAL") != std::string::npos ||
+          t.find("sync::Mutex") != std::string::npos ||
+          t.find("sync::CondVar") != std::string::npos ||
+          t.find("std::atomic") != std::string::npos) {
+        continue;
+      }
+      // First word decides declaration kind; access labels are skipped.
+      std::size_t p = 0;
+      const auto next_word = [&]() {
+        while (p < t.size() && !ident_char(t[p])) ++p;
+        const std::size_t b = p;
+        while (p < t.size() && ident_char(t[p])) ++p;
+        return t.substr(b, p - b);
+      };
+      std::string first = next_word();
+      while (first == "public" || first == "private" ||
+             first == "protected") {
+        first = next_word();
+      }
+      if (first.empty() || first == "const" || first == "static" ||
+          first == "constexpr" || first == "using" || first == "typedef" ||
+          first == "friend" || first == "enum" || first == "class" ||
+          first == "struct" || first == "template" || first == "inline") {
+        continue;
+      }
+      if (t.find('(') != std::string::npos) continue;  // function decl
+      // Condense the statement for the diagnostic.
+      std::string shown;
+      for (const char c : t) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+          if (!shown.empty() && shown.back() != ' ') shown.push_back(' ');
+        } else {
+          shown.push_back(c);
+        }
+      }
+      if (shown.size() > 48) shown = shown.substr(0, 48) + "...";
+      report(path, line_of(code, s.offset), "sync-guarded-by",
+             "member `" + shown +
+                 "` of a lock-owning class declares no synchronisation "
+                 "discipline; annotate it with DARNET_GUARDED_BY(mu) / "
+                 "DARNET_ATOMIC / DARNET_THREAD_LOCAL (or make it const)");
+    }
+  }
+
+  /// sync-assert-held: every `REQUIRES: <mu> held|free` comment that sits
+  /// on a function *definition* must be backed by the matching
+  /// DARNET_ASSERT_HELD / DARNET_ASSERT_NOT_HELD call in the body. The
+  /// marker is read from the raw text (it lives in comments); the body is
+  /// located in the stripped code, whose offsets match 1:1.
+  void check_assert_held(const fs::path& path, const std::string& raw,
+                         const std::string& code) {
+    for (std::size_t pos = raw.find("REQUIRES:"); pos != std::string::npos;
+         pos = raw.find("REQUIRES:", pos + 1)) {
+      std::size_t i = pos + 9;
+      while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+      std::size_t b = i;
+      while (i < raw.size() && ident_char(raw[i])) ++i;
+      const std::string name = raw.substr(b, i - b);
+      if (name.empty()) continue;
+      while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+      b = i;
+      while (i < raw.size() && ident_char(raw[i])) ++i;
+      const std::string mode = raw.substr(b, i - b);
+      if (mode != "held" && mode != "free") continue;
+      // A '{' before the next ';' means the marker sits on a definition;
+      // markers on declarations document the contract for callers and
+      // are enforced at the definition site instead.
+      const std::size_t next = code.find_first_of("{;", i);
+      if (next == std::string::npos || code[next] == ';') continue;
+      const std::size_t close = match_brace(code, next);
+      if (close == std::string::npos) continue;
+      const std::string body = code.substr(next, close - next + 1);
+      const char* macro =
+          mode == "held" ? "DARNET_ASSERT_HELD" : "DARNET_ASSERT_NOT_HELD";
+      if (!contains_call_on(body, macro, name)) {
+        report(path, line_of(raw, pos), "sync-assert-held",
+               "`REQUIRES: " + name + " " + mode +
+                   "` on a function definition without a matching " +
+                   macro + "(" + name +
+                   ") in the body; lock preconditions are executable, not "
+                   "prose");
+      }
+    }
+  }
+
   void lint_file(const fs::path& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -316,12 +553,18 @@ struct Linter {
       report(path, 1, "pragma-once", "header is missing #pragma once");
     }
 
-    for_each_token(code, "new", [&](std::size_t pos) {
-      if (!followed_by_operand(code, pos, 3)) return;
-      report(path, line_of(code, pos), "raw-new",
-             "raw new expression; use value types, containers or "
-             "std::make_unique");
-    });
+    // src/sync/ is exempt from raw-new: the lock-order checker
+    // immortalises its graph state on purpose (see sync.cpp) so locks
+    // taken during static/TLS destruction never touch destroyed objects.
+    const bool in_sync = rel.starts_with("src/sync/");
+    if (!in_sync) {
+      for_each_token(code, "new", [&](std::size_t pos) {
+        if (!followed_by_operand(code, pos, 3)) return;
+        report(path, line_of(code, pos), "raw-new",
+               "raw new expression; use value types, containers or "
+               "std::make_unique");
+      });
+    }
 
     for_each_token(code, "delete", [&](std::size_t pos) {
       if (is_deleted_function(code, pos)) return;
@@ -414,6 +657,44 @@ struct Linter {
       }
     }
 
+    // Concurrency-correctness rules. src/sync/ itself is exempt: it is
+    // the one place allowed to name the raw std primitives (it wraps
+    // them) and its own classes are the annotation vocabulary.
+    if (!in_sync) {
+      for (const char* token :
+           {"std::mutex", "std::recursive_mutex", "std::timed_mutex",
+            "std::recursive_timed_mutex", "std::shared_mutex",
+            "std::shared_timed_mutex", "std::condition_variable",
+            "std::condition_variable_any", "std::lock_guard",
+            "std::unique_lock", "std::scoped_lock", "std::shared_lock"}) {
+        for_each_token(code, token, [&](std::size_t pos) {
+          report(path, line_of(code, pos), "sync-raw-primitive",
+                 std::string(token) +
+                     " outside src/sync/; use sync::Mutex / sync::Lock / "
+                     "sync::UniqueLock / sync::CondVar so checked builds "
+                     "can track held locks and lock order");
+        });
+      }
+      check_guarded_by(path, code);
+      check_assert_held(path, raw, code);
+    }
+
+    // The deprecated engine shim API is compiled out unless the gate
+    // macro is defined. Tests receive the gate from CMake
+    // (darnet_test()), so the token's presence in any source file outside
+    // src/engine/ means someone is re-enabling the shims by hand.
+    if (!rel.starts_with("src/engine/")) {
+      for_each_token(code, "DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS",
+                     [&](std::size_t pos) {
+                       report(path, line_of(code, pos),
+                              "engine-deprecated-shim",
+                              "DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS outside "
+                              "src/engine/; migrate to ClassifyRequest / "
+                              "classify_batch instead of re-enabling the "
+                              "deprecated shim API");
+                     });
+    }
+
     // Observability contract extraction: collect every metric/span name
     // registered through the DARNET_* macros in src/. src/obs/ is skipped
     // (it defines the macros; it registers nothing itself).
@@ -443,6 +724,30 @@ struct Linter {
                        "documented contract is statically checkable");
             return;
           }
+          const std::size_t open = i + 1;
+          const std::size_t close = with_strings.find('"', open);
+          if (close == std::string::npos) return;
+          obs_uses.push_back(ObsUse{with_strings.substr(open, close - open),
+                                    rel, line_of(with_strings, pos)});
+        });
+      }
+      // Direct registry() registrations (used by layers that cannot go
+      // through the macros, e.g. src/sync emitting its own metrics):
+      // `registry().counter("name")` et al. count as contract uses too.
+      for (const char* call : {".counter(", ".gauge(", ".histogram("}) {
+        for_each_token(with_strings, call, [&](std::size_t pos) {
+          const std::size_t ctx = pos >= 24 ? pos - 24 : 0;
+          if (with_strings.substr(ctx, pos - ctx).find("registry") ==
+              std::string::npos) {
+            return;  // a method call on something else
+          }
+          std::size_t i = pos + std::string_view(call).size();
+          while (i < with_strings.size() &&
+                 std::isspace(static_cast<unsigned char>(with_strings[i])) !=
+                     0) {
+            ++i;
+          }
+          if (i >= with_strings.size() || with_strings[i] != '"') return;
           const std::size_t open = i + 1;
           const std::size_t close = with_strings.find('"', open);
           if (close == std::string::npos) return;
@@ -525,6 +830,9 @@ struct Linter {
         const fs::path& p = entry.path();
         const std::string rel = fs::relative(p, root).generic_string();
         if (rel.starts_with("tools/lint/")) continue;  // the rule table
+        // Fixture files deliberately violate one rule each; they are
+        // linted individually by tests/lint_fixtures/run_fixtures.sh.
+        if (rel.starts_with("tests/lint_fixtures/")) continue;
         const auto ext = p.extension();
         if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
         lint_file(p);
