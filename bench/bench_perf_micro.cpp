@@ -14,6 +14,8 @@
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
 #include "parallel/pool.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "vision/renderer.hpp"
 
@@ -114,11 +116,17 @@ void BM_FrameCnnInference(benchmark::State& state) {
   nn::Sequential cnn = engine::build_frame_cnn(cfg);
   util::Rng rng(4);
   const Tensor frame = Tensor::uniform({1, 1, 48, 48}, 0.5f, rng);
+  // Serving configuration: a scratch arena scopes the steady-state loop
+  // (engine/serve install one per thread), so post-warm-up iterations are
+  // heap-free.
+  tensor::Arena arena;
+  tensor::ArenaScope scope(arena);
   for (auto _ : state) {
     Tensor p = cnn.forward(frame, false);
     benchmark::DoNotOptimize(p.data());
   }
-  state.SetLabel("per-frame classification latency");
+  state.SetLabel(std::string("per-frame latency, kernels=") +
+                 tensor::kernels::isa_name(tensor::kernels::active()));
 }
 BENCHMARK(BM_FrameCnnInference);
 

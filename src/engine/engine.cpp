@@ -1,12 +1,44 @@
 #include "engine/engine.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 #include "util/stopwatch.hpp"
 
 namespace darnet::engine {
+
+namespace {
+
+// Fallback scratch arena for direct classify_batch callers: installed only
+// when the calling thread has no ArenaScope of its own (a serve worker's
+// scope wins). Thread-local, so concurrent callers never share free lists.
+// Intermediate activations cycle through it after one warm-up call; the
+// returned tensor's block follows the caller's scope (or the heap) -- see
+// DESIGN.md "Kernel architecture" for the zero-alloc contract.
+class FallbackArenaScope {
+ public:
+  FallbackArenaScope() {
+    static thread_local tensor::Arena t_engine_arena;
+    if (tensor::current_arena() == nullptr) scope_.emplace(t_engine_arena);
+  }
+
+  FallbackArenaScope(const FallbackArenaScope&) = delete;
+  FallbackArenaScope& operator=(const FallbackArenaScope&) = delete;
+
+ private:
+  std::optional<tensor::ArenaScope> scope_;
+};
+
+void record_arena_gauge() {
+  if (const tensor::Arena* a = tensor::current_arena()) {
+    DARNET_GAUGE_SET("engine/arena_bytes", a->bytes_cached());
+  }
+}
+
+}  // namespace
 
 NeuralClassifier::NeuralClassifier(std::shared_ptr<nn::Layer> model,
                                    int num_classes, std::string label)
@@ -102,11 +134,13 @@ Tensor EnsembleClassifier::classify_batch(const Tensor& frames,
                                           const Tensor& imu_windows) {
   DARNET_TIMER("engine/classify_ns");
   DARNET_COUNTER_ADD("engine/classifications_total", 1);
+  FallbackArenaScope arena_scope;
   Tensor p_img;
   {
     DARNET_SPAN("engine/frame_model_forward");
     p_img = frame_model_->probabilities(frames);
   }
+  record_arena_gauge();
   if (!imu_model_) return p_img;
   Tensor p_imu;
   {
@@ -123,6 +157,7 @@ Tensor EnsembleClassifier::classify_batch_degraded(const Tensor& frames,
   DARNET_TIMER("engine/classify_ns");
   DARNET_COUNTER_ADD("engine/classifications_total", 1);
   DARNET_COUNTER_ADD("engine/degraded_classifications_total", 1);
+  FallbackArenaScope arena_scope;
   Tensor p_imu;
   {
     DARNET_SPAN("engine/imu_model_forward");

@@ -1,5 +1,7 @@
 #include "nn/activations.hpp"
 
+#include <utility>
+
 namespace darnet::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool training) {
@@ -15,6 +17,16 @@ Tensor ReLU::forward(const Tensor& input, bool training) {
     if (m) m[i] = on ? 1.0f : 0.0f;
   }
   return out;
+}
+
+Tensor ReLU::forward_moved(Tensor&& input, bool training) {
+  if (training) return forward(input, training);  // needs the mask copy
+  float* x = input.data();
+  const std::size_t n = input.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  return std::move(input);
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
@@ -38,6 +50,17 @@ Tensor Flatten::forward(const Tensor& input, bool training) {
   int rest = 1;
   for (std::size_t i = 1; i < input.rank(); ++i) rest *= input.dim(i);
   return input.reshaped({input.dim(0), rest});
+}
+
+Tensor Flatten::forward_moved(Tensor&& input, bool training) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: rank >= 2 required");
+  }
+  if (training) cached_shape_ = input.shape();
+  int rest = 1;
+  for (std::size_t i = 1; i < input.rank(); ++i) rest *= input.dim(i);
+  const int n0 = input.dim(0);
+  return std::move(input).reshaped({n0, rest});
 }
 
 ShapeContract Flatten::shape_contract(
@@ -82,6 +105,21 @@ Tensor Dropout::forward(const Tensor& input, bool training) {
     y[i] = x[i] * m[i];
   }
   return out;
+}
+
+Tensor Dropout::forward_moved(Tensor&& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0) return std::move(input);
+  mask_ = Tensor(input.shape());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  float* x = input.data();
+  float* m = mask_.data();
+  const std::size_t n = input.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = rng_.chance(p_) ? 0.0f : keep_scale;
+    x[i] *= m[i];
+  }
+  return std::move(input);
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

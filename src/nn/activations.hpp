@@ -9,6 +9,8 @@ namespace darnet::nn {
 class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
+  /// In-place on the stolen buffer (identical values, zero allocations).
+  Tensor forward_moved(Tensor&& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
   [[nodiscard]] ShapeContract shape_contract(
@@ -24,6 +26,8 @@ class ReLU final : public Layer {
 class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
+  /// Moves the storage through the reshape instead of copying it.
+  Tensor forward_moved(Tensor&& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
   [[nodiscard]] ShapeContract shape_contract(
@@ -39,6 +43,9 @@ class Dropout final : public Layer {
   Dropout(double drop_probability, std::uint64_t seed);
 
   Tensor forward(const Tensor& input, bool training) override;
+  /// Identity move-through at inference; in-place mask multiply when
+  /// training (same rng consumption and values as forward()).
+  Tensor forward_moved(Tensor&& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
   [[nodiscard]] ShapeContract shape_contract(

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "check/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace darnet::nn {
+
+namespace kernels = tensor::kernels;
 
 namespace {
 
@@ -20,6 +24,27 @@ constexpr std::int64_t kChunkFlops = 1 << 18;
 std::int64_t image_grain(std::int64_t flops_per_image) noexcept {
   return std::max<std::int64_t>(
       1, kChunkFlops / std::max<std::int64_t>(1, flops_per_image));
+}
+
+// Copy the in_ch input planes into a zero-bordered (h+2p) x (w+2p) layout
+// for the branch-free direct kernel. Much smaller than an im2col unfold
+// (in_ch vs in_ch*k*k copies of the plane).
+void pad_planes(const float* x, int in_ch, int h, int w, int pad,
+                float* xp) {
+  const int ph = h + 2 * pad, pw = w + 2 * pad;
+  for (int ic = 0; ic < in_ch; ++ic) {
+    const float* src = x + static_cast<std::size_t>(ic) * h * w;
+    float* dst = xp + static_cast<std::size_t>(ic) * ph * pw;
+    std::fill(dst, dst + static_cast<std::size_t>(pad) * pw, 0.0f);
+    float* row = dst + static_cast<std::size_t>(pad) * pw;
+    for (int r = 0; r < h; ++r, row += pw) {
+      std::fill(row, row + pad, 0.0f);
+      const float* srow = src + static_cast<std::size_t>(r) * w;
+      std::copy(srow, srow + w, row + pad);
+      std::fill(row + pad + w, row + pw, 0.0f);
+    }
+    std::fill(row, row + static_cast<std::size_t>(pad) * pw, 0.0f);
+  }
 }
 
 }  // namespace
@@ -160,12 +185,24 @@ void Conv2D::forward_image_direct(const float* x, int h, int w, int oh,
   }
 }
 
+void Conv2D::ensure_packed() const {
+  if (packed_for_ == weight_.version) return;
+  const int patch = in_ch_ * k_ * k_;
+  packed_w_.resize_uninit(static_cast<std::size_t>(out_ch_) * patch);
+  kernels::pack_rows_mr4(weight_.value.data(), out_ch_, patch,
+                         packed_w_.data());
+  packed_for_ = weight_.version;
+  DARNET_COUNTER_ADD("engine/pack_total", 1);
+}
+
 Tensor Conv2D::run_forward(const Tensor& input) const {
   const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const int oh = h + 2 * pad_ - k_ + 1;
   const int ow = w + 2 * pad_ - k_ + 1;
 
-  Tensor out({n, out_ch_, oh, ow});
+  // Every element is written below (bias fill / overwrite-semantics
+  // kernels / direct path's bias fill), so skip the zero memset.
+  Tensor out = Tensor::uninit({n, out_ch_, oh, ow});
   const float* wts = weight_.value.data();
   const float* bias = bias_.value.data();
   const float* in = input.data();
@@ -176,14 +213,68 @@ Tensor Conv2D::run_forward(const Tensor& input) const {
   const std::size_t in_img = static_cast<std::size_t>(in_ch_) * h * w;
   const std::size_t out_img = static_cast<std::size_t>(out_ch_) * pixels;
   const bool gemm = use_gemm(oh, ow);
+  // A 1x1 unpadded conv's patch matrix *is* the input plane matrix
+  // ([in_ch, h*w] row-major -- exactly what im2col would copy out), so
+  // both paths feed the GEMM the input directly. Bit-identical: the
+  // unfold is a pure copy for k=1, pad=0.
+  const bool unit = k_ == 1 && pad_ == 0;
+  const kernels::Kernels* kv = kernels::active_kernels();
+  // Vector dispatch: wide-enough spatial (k > 1) convs go to the
+  // im2col-free direct kernel -- the unfold copy costs more than it buys
+  // at these plane sizes -- while 1x1 convs keep the packed-panel GEMM
+  // (B is the input plane matrix itself, and the 4-row panels share its
+  // rows). Rows narrower than one vector stay on the GEMM path too.
+  const bool vecdirect =
+      kv != nullptr && !unit && ow >= kv->conv_min_ow;
+  if (kv != nullptr && gemm && !vecdirect) ensure_packed();
+  const int ph = h + 2 * pad_, pw = w + 2 * pad_;
 
-  if (gemm && n == 1) {
+  if (vecdirect && n == 1) {
+    tensor::Storage xpad;
+    const float* xp = in;
+    if (pad_ > 0) {
+      xpad.resize_uninit(static_cast<std::size_t>(in_ch_) * ph * pw);
+      pad_planes(in, in_ch_, h, w, pad_, xpad.data());
+      xp = xpad.data();
+    }
+    const std::int64_t oc_flops =
+        2LL * patch * static_cast<std::int64_t>(pixels);
+    parallel::parallel_for(
+        0, out_ch_, image_grain(oc_flops),
+        [&](std::int64_t i0, std::int64_t i1) {
+          kv->conv2d_direct(xp, wts, bias, o, static_cast<int>(i0),
+                            static_cast<int>(i1), in_ch_, k_, ph, pw, oh,
+                            ow);
+        });
+    return out;
+  }
+
+  if (gemm && !vecdirect && n == 1) {
     // Single image (the streaming-inference hot path): unfold once, then
     // shard the GEMM's disjoint output rows across the pool.
-    std::vector<float> col(static_cast<std::size_t>(patch) * pixels);
-    im2col(in, h, w, oh, ow, col.data());
+    tensor::Storage col;
+    const float* bmat = in;
+    if (!unit) {
+      col.resize_uninit(static_cast<std::size_t>(patch) * pixels);
+      im2col(in, h, w, oh, ow, col.data());
+      bmat = col.data();
+    }
     const std::int64_t row_flops =
         2LL * patch * static_cast<std::int64_t>(pixels);
+    if (kv != nullptr) {
+      // Vector path: bias is folded into the packed-GEMM accumulators;
+      // shard on 4-row panel boundaries (the kernel's precondition).
+      const std::int64_t panels = (out_ch_ + 3) / 4;
+      parallel::parallel_for(
+          0, panels, image_grain(4 * row_flops),
+          [&](std::int64_t p0, std::int64_t p1) {
+            kv->gemm_bias_packed(packed_w_.data(), bias, bmat, o,
+                                 static_cast<int>(4 * p0),
+                                 std::min(out_ch_, static_cast<int>(4 * p1)),
+                                 out_ch_, patch, static_cast<int>(pixels));
+          });
+      return out;
+    }
     parallel::parallel_for(
         0, out_ch_, image_grain(row_flops),
         [&](std::int64_t i0, std::int64_t i1) {
@@ -191,7 +282,7 @@ Tensor Conv2D::run_forward(const Tensor& input) const {
             std::fill(o + oc * pixels, o + (oc + 1) * pixels,
                       bias[static_cast<std::size_t>(oc)]);
           }
-          tensor::gemm_rows_serial(wts, col.data(), o, i0, i1, patch,
+          tensor::gemm_rows_serial(wts, bmat, o, i0, i1, patch,
                                    static_cast<int>(pixels));
         });
     return out;
@@ -209,18 +300,42 @@ Tensor Conv2D::run_forward(const Tensor& input) const {
 #ifdef DARNET_CHECKED
         tracker.record(i0, i1);
 #endif
-        std::vector<float> col;
-        if (gemm) col.resize(static_cast<std::size_t>(patch) * pixels);
+        tensor::Storage col;
+        if (gemm && !unit && !vecdirect) {
+          col.resize_uninit(static_cast<std::size_t>(patch) * pixels);
+        }
+        tensor::Storage xpad;
+        if (vecdirect && pad_ > 0) {
+          xpad.resize_uninit(static_cast<std::size_t>(in_ch_) * ph * pw);
+        }
         for (std::int64_t img = i0; img < i1; ++img) {
           const float* x = in + static_cast<std::size_t>(img) * in_img;
           float* y = o + static_cast<std::size_t>(img) * out_img;
-          if (gemm) {
-            im2col(x, h, w, oh, ow, col.data());
-            for (int oc = 0; oc < out_ch_; ++oc) {
-              std::fill(y + oc * pixels, y + (oc + 1) * pixels, bias[oc]);
+          if (vecdirect) {
+            const float* xp = x;
+            if (pad_ > 0) {
+              pad_planes(x, in_ch_, h, w, pad_, xpad.data());
+              xp = xpad.data();
             }
-            tensor::gemm_rows_serial(wts, col.data(), y, 0, out_ch_, patch,
-                                     static_cast<int>(pixels));
+            kv->conv2d_direct(xp, wts, bias, y, 0, out_ch_, in_ch_, k_, ph,
+                              pw, oh, ow);
+          } else if (gemm) {
+            const float* bmat = x;
+            if (!unit) {
+              im2col(x, h, w, oh, ow, col.data());
+              bmat = col.data();
+            }
+            if (kv != nullptr) {
+              kv->gemm_bias_packed(packed_w_.data(), bias, bmat, y, 0,
+                                   out_ch_, out_ch_, patch,
+                                   static_cast<int>(pixels));
+            } else {
+              for (int oc = 0; oc < out_ch_; ++oc) {
+                std::fill(y + oc * pixels, y + (oc + 1) * pixels, bias[oc]);
+              }
+              tensor::gemm_rows_serial(wts, bmat, y, 0, out_ch_, patch,
+                                       static_cast<int>(pixels));
+            }
           } else {
             forward_image_direct(x, h, w, oh, ow, y);
           }
@@ -361,19 +476,22 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   const std::size_t out_img = static_cast<std::size_t>(out_ch_) * pixels;
   const std::size_t wsize = static_cast<std::size_t>(out_ch_) * patch;
   const bool gemm = use_gemm(oh, ow);
+  const bool unit = k_ == 1 && pad_ == 0;  // im2col is the identity copy
 
   // Per-image partial gradients, reduced below in ascending image order so
   // the accumulated dW/db match the serial seed bit-for-bit regardless of
   // how the batch was sharded.
-  std::vector<float> dw_part(static_cast<std::size_t>(n) * wsize);
-  std::vector<float> db_part(static_cast<std::size_t>(n) * out_ch_);
+  tensor::Storage dw_part(static_cast<std::size_t>(n) * wsize);
+  tensor::Storage db_part(static_cast<std::size_t>(n) * out_ch_);
 
   const std::int64_t flops =
       4LL * out_ch_ * patch * static_cast<std::int64_t>(pixels);
   parallel::parallel_for(
       0, n, image_grain(flops), [&](std::int64_t i0, std::int64_t i1) {
-        std::vector<float> col;
-        if (gemm) col.resize(static_cast<std::size_t>(patch) * pixels);
+        tensor::Storage col;
+        if (gemm && !unit) {
+          col.resize_uninit(static_cast<std::size_t>(patch) * pixels);
+        }
         for (std::int64_t img = i0; img < i1; ++img) {
           const float* x = in + static_cast<std::size_t>(img) * in_img;
           const float* gy = g + static_cast<std::size_t>(img) * out_img;
@@ -382,8 +500,12 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
           float* db_out =
               db_part.data() + static_cast<std::size_t>(img) * out_ch_;
           if (gemm) {
-            im2col(x, h, w, oh, ow, col.data());
-            backward_image_gemm(col.data(), gy, gx, h, w, oh, ow, dw_out,
+            const float* cmat = x;
+            if (!unit) {
+              im2col(x, h, w, oh, ow, col.data());
+              cmat = col.data();
+            }
+            backward_image_gemm(cmat, gy, gx, h, w, oh, ow, dw_out,
                                 db_out);
           } else {
             backward_image_direct(x, gy, gx, h, w, oh, ow, dw_out, db_out);

@@ -2,6 +2,7 @@
 
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 
 namespace darnet::nn {
@@ -63,7 +64,10 @@ Tensor ParallelConcat::forward(const Tensor& input, bool training) {
   input_shape_ = input.shape();
   branch_channels_.clear();
 
-  std::vector<Tensor> outs;
+  // Branch outputs live for the length of this call only; route the
+  // vector's backing block through the scratch arena so the steady-state
+  // inference path stays heap-free.
+  std::vector<Tensor, tensor::ArenaAlloc<Tensor>> outs;
   outs.reserve(branches_.size());
   int total_ch = 0;
   const int n = input.dim(0);
@@ -85,7 +89,7 @@ Tensor ParallelConcat::forward(const Tensor& input, bool training) {
     outs.push_back(std::move(y));
   }
 
-  Tensor out({n, total_ch, oh, ow});
+  Tensor out = Tensor::uninit({n, total_ch, oh, ow});  // fully overwritten
   const std::size_t plane = static_cast<std::size_t>(oh) * ow;
   for (int img = 0; img < n; ++img) {
     std::size_t ch_offset = 0;
@@ -116,7 +120,7 @@ Tensor ParallelConcat::backward(const Tensor& grad_output) {
   std::size_t ch_offset = 0;
   for (std::size_t b = 0; b < branches_.size(); ++b) {
     const int bc = branch_channels_[b];
-    Tensor gslice({n, bc, oh, ow});
+    Tensor gslice = Tensor::uninit({n, bc, oh, ow});  // fully overwritten
     for (int img = 0; img < n; ++img) {
       const float* src =
           grad_output.data() +

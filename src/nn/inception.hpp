@@ -38,7 +38,7 @@ class ParallelConcat final : public Layer {
  private:
   std::vector<LayerPtr> branches_;
   std::vector<int> branch_channels_;  // from last forward
-  std::vector<int> input_shape_;
+  tensor::Shape input_shape_;
 };
 
 /// Builds a MicroInception block for `in_channels` input feature maps:

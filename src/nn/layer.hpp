@@ -6,6 +6,7 @@
 // small, auditable, and fast on a single core.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,11 +22,20 @@ using tensor::Tensor;
 struct Param {
   Tensor value;
   Tensor grad;
+  /// Monotone version of `value`, bumped by every sanctioned mutation
+  /// (optimizer step, Sequential::load_params). Layers with packed weight
+  /// caches (Dense, Conv2D) compare it against the version they packed to
+  /// decide whether to re-pack -- this is the "invalidated on optimizer
+  /// step" half of the packing lifecycle. Code that writes `value`
+  /// directly (tests, manual surgery) must call mark_dirty() or the
+  /// vector-ISA path will keep serving the stale pack.
+  std::uint64_t version{0};
 
   explicit Param(Tensor initial)
       : value(std::move(initial)), grad(value.shape()) {}
 
   void zero_grad() noexcept { grad.zero(); }
+  void mark_dirty() noexcept { ++version; }
 };
 
 /// The shape contract a layer declares for checked builds: given an input

@@ -39,13 +39,57 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
     throw std::invalid_argument("MaxPool2D: H and W must be divisible by k");
   }
   const int oh = h / k_, ow = w / k_;
-  Tensor out({n, c, oh, ow});
-  if (training) {
-    input_shape_ = input.shape();
-    argmax_.assign(out.numel(), 0);
-  }
+  // Fully overwritten below -- skip the zero memset.
+  Tensor out = Tensor::uninit({n, c, oh, ow});
   const float* x = input.data();
   float* y = out.data();
+  if (!training) {
+    // Inference fast path: same first-max scan order (bit-identical
+    // values), but no argmax bookkeeping and no per-element index math.
+    const std::int64_t planes = static_cast<std::int64_t>(n) * c;
+    std::size_t oi = 0;
+    if (k_ == 2) {
+      // Branchless 2x2 window: vertical max per column, then the
+      // horizontal pair. Tie resolution keeps the earlier element in the
+      // scan order (ternaries prefer their second operand), so even mixed
+      // +-0.0 windows reproduce the generic scan bit-for-bit.
+      for (std::int64_t pl = 0; pl < planes; ++pl) {
+        const float* plane = x + static_cast<std::size_t>(pl) * h * w;
+        for (int r = 0; r < oh; ++r) {
+          const float* a = plane + static_cast<std::size_t>(2 * r) * w;
+          const float* b = a + w;
+          for (int j = 0; j < ow; ++j, ++oi) {
+            const float a0 = a[2 * j], a1 = a[2 * j + 1];
+            const float b0 = b[2 * j], b1 = b[2 * j + 1];
+            const float m0 = b0 > a0 ? b0 : a0;
+            const float m1 = b1 > a1 ? b1 : a1;
+            y[oi] = m1 > m0 ? m1 : m0;
+          }
+        }
+      }
+      return out;
+    }
+    for (std::int64_t pl = 0; pl < planes; ++pl) {
+      const float* plane = x + static_cast<std::size_t>(pl) * h * w;
+      for (int r = 0; r < oh; ++r) {
+        const float* rbase = plane + static_cast<std::size_t>(r) * k_ * w;
+        for (int col = 0; col < ow; ++col, ++oi) {
+          const float* cell = rbase + static_cast<std::size_t>(col) * k_;
+          float best = cell[0];
+          for (int dr = 0; dr < k_; ++dr) {
+            const float* prow = cell + static_cast<std::size_t>(dr) * w;
+            for (int dc = 0; dc < k_; ++dc) {
+              if (prow[dc] > best) best = prow[dc];
+            }
+          }
+          y[oi] = best;
+        }
+      }
+    }
+    return out;
+  }
+  input_shape_ = input.shape();
+  argmax_.assign(out.numel(), 0);
   std::size_t oi = 0;
   for (int img = 0; img < n; ++img) {
     for (int ch = 0; ch < c; ++ch) {
@@ -67,9 +111,7 @@ Tensor MaxPool2D::forward(const Tensor& input, bool training) {
             }
           }
           y[oi] = best;
-          if (training) {
-            argmax_[oi] = static_cast<int>(plane_base) + best_idx;
-          }
+          argmax_[oi] = static_cast<int>(plane_base) + best_idx;
         }
       }
     }
@@ -107,7 +149,7 @@ Tensor AvgPool2D::forward(const Tensor& input, bool training) {
   if (training) input_shape_ = input.shape();
   const int oh = h / k_, ow = w / k_;
   const float inv = 1.0f / static_cast<float>(k_ * k_);
-  Tensor out({n, c, oh, ow});
+  Tensor out = Tensor::uninit({n, c, oh, ow});
   const float* x = input.data();
   float* y = out.data();
   std::size_t oi = 0;
@@ -167,7 +209,7 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
             w = input.dim(3);
   if (training) input_shape_ = input.shape();
   const float inv = 1.0f / static_cast<float>(h * w);
-  Tensor out({n, c});
+  Tensor out = Tensor::uninit({n, c});
   const float* x = input.data();
   float* y = out.data();
   for (int img = 0; img < n; ++img) {

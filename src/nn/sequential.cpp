@@ -184,6 +184,7 @@ void Sequential::load_params(util::BinaryReader& reader) {
     }
     p->value = std::move(loaded);
     p->grad = Tensor(p->value.shape());
+    p->mark_dirty();  // invalidate packed-weight caches (Dense/Conv2D)
   }
 }
 

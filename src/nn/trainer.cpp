@@ -259,10 +259,16 @@ Tensor predict_logits(Layer& model, const Tensor& x, int batch_size) {
        start += static_cast<std::size_t>(batch_size)) {
     const std::size_t end =
         std::min(n, start + static_cast<std::size_t>(batch_size));
-    idx.resize(end - start);
-    std::iota(idx.begin(), idx.end(), start);
-    gather_rows_into(x, idx, xb);
-    Tensor out = model.forward(xb, /*training=*/false);
+    // Whole-input batch (the streaming/serve hot path): skip the gather
+    // copy and feed the caller's tensor directly -- bit-identical, since
+    // gathering [0, n) is a verbatim row copy.
+    const bool whole = start == 0 && end == n;
+    if (!whole) {
+      idx.resize(end - start);
+      std::iota(idx.begin(), idx.end(), start);
+      gather_rows_into(x, idx, xb);
+    }
+    Tensor out = model.forward(whole ? x : xb, /*training=*/false);
     if (out.rank() != 2) {
       throw std::logic_error("predict_logits: model output must be [N, C]");
     }

@@ -241,8 +241,10 @@ bool in_parallel_region() noexcept { return t_in_region; }
 
 ThreadPool& global_pool() { return *acquire_pool(); }
 
-void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const RangeBody& body) {
+void parallel_for_impl(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, const RangeBody& body) {
+  // The template wrapper in pool.hpp already handled the empty range and
+  // the inline (serial) path; re-check cheaply for direct callers.
   if (begin >= end) return;
   if (thread_count() <= 1 || t_in_region) {
     body(begin, end);

@@ -100,14 +100,31 @@ void set_thread_count(int count);
 /// Created lazily on first use.
 [[nodiscard]] ThreadPool& global_pool();
 
+/// Out-of-line slow path of parallel_for: type-erased body shipped to the
+/// global pool. Call parallel_for below instead.
+void parallel_for_impl(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, const RangeBody& body);
+
 /// Run body(chunk_begin, chunk_end) over [begin, end) on the global pool.
 /// `grain` is the minimum chunk size; chunks are additionally sized so
 /// each thread gets a handful of chunks (dynamic load balancing without
 /// tiny chunks). Serial (inline) when the effective thread count is 1,
 /// when called from inside another region, or when the range fits one
 /// grain.
+///
+/// Written as a template so the serial path invokes the callable directly:
+/// no std::function is materialised, so a thread-count-1 inference step
+/// performs zero heap allocations here (the zero-alloc hot-path contract).
+template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const RangeBody& body);
+                  Body&& body) {
+  if (begin >= end) return;
+  if (thread_count() <= 1 || in_parallel_region()) {
+    body(begin, end);
+    return;
+  }
+  parallel_for_impl(begin, end, grain, RangeBody(std::forward<Body>(body)));
+}
 
 /// A dedicated long-running thread for service loops (e.g. the serve
 /// scheduler's batching workers). Distinct from the ThreadPool: pool

@@ -9,6 +9,7 @@
 
 #include "check/check.hpp"
 #include "obs/obs.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 
 namespace darnet::serve {
@@ -147,6 +148,13 @@ Server::Submission Server::submit(engine::ClassifyRequest request) {
 }
 
 void Server::worker_loop() {
+  // Per-worker scratch arena: all tensor traffic on this thread (batch
+  // stacking, model activations, fused outputs) cycles through it, so
+  // steady-state batches stop hitting the heap. Result rows that escape to
+  // client threads via promises degrade to plain heap frees -- safe, the
+  // blocks are malloc-compatible (see tensor/arena.hpp).
+  tensor::Arena arena;
+  tensor::ArenaScope scope(arena);
   for (;;) {
     std::vector<Pending> batch;
     std::uint64_t ticket = 0;

@@ -5,6 +5,7 @@
 
 #include "check/check.hpp"
 #include "parallel/pool.hpp"
+#include "tensor/kernels.hpp"
 
 namespace darnet::tensor {
 
@@ -142,6 +143,11 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  // One dispatch per call: vector ISA active -> SIMD row kernel, else the
+  // scalar bit-parity golden. Both shard disjoint rows, so thread count
+  // never affects results for a fixed ISA.
+  const kernels::Kernels* kv = kernels::active_kernels();
+  const auto rows_fn = (kv != nullptr) ? kv->gemm_rows : &gemm_rows_serial;
 #ifdef DARNET_CHECKED
   // Checked builds: every chunk writes a disjoint band of output rows and
   // together the bands tile [0, m) exactly.
@@ -149,13 +155,13 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
   parallel::parallel_for(0, m, gemm_grain(k, n),
                          [&](std::int64_t i0, std::int64_t i1) {
                            tracker.record(i0, i1);
-                           gemm_rows_serial(pa, pb, pc, i0, i1, k, n);
+                           rows_fn(pa, pb, pc, i0, i1, k, n);
                          });
   tracker.expect_exact_cover(0, m);
 #else
   parallel::parallel_for(0, m, gemm_grain(k, n),
                          [&](std::int64_t i0, std::int64_t i1) {
-                           gemm_rows_serial(pa, pb, pc, i0, i1, k, n);
+                           rows_fn(pa, pb, pc, i0, i1, k, n);
                          });
 #endif
 }
@@ -164,9 +170,9 @@ Tensor matmul_bt(const Tensor& a, const Tensor& bt) {
   require(a.rank() == 2 && bt.rank() == 2, "matmul_bt: rank-2 required");
   const int m = a.dim(0), k = a.dim(1), n = bt.dim(0);
   require(bt.dim(1) == k, "matmul_bt: inner dims mismatch");
-  Tensor c({m, n});
   const std::int64_t flops = 2LL * m * k * n;
   if (flops >= 32768) {
+    Tensor c({m, n});
     // Materialise B = Bt^T once and run the blocked kernel. Each output
     // element still accumulates over k in ascending order from 0, so this
     // is bit-for-bit the same as the direct dot-product loop below.
@@ -174,6 +180,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& bt) {
     matmul_accumulate(a, b, c);
     return c;
   }
+  Tensor c = Tensor::uninit({m, n});  // every element written below
   const float* pa = a.data();
   const float* pb = bt.data();
   float* pc = c.data();
@@ -239,7 +246,7 @@ void scale_inplace(Tensor& t, float alpha) noexcept {
 
 Tensor hadamard(const Tensor& a, const Tensor& b) {
   require(a.same_shape(b), "hadamard: shape mismatch");
-  Tensor c(a.shape());
+  Tensor c = Tensor::uninit(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -279,7 +286,7 @@ double l2_norm(const Tensor& t) noexcept {
 Tensor softmax_rows(const Tensor& logits) {
   require(logits.rank() == 2, "softmax_rows: rank-2 required");
   const int n = logits.dim(0), c = logits.dim(1);
-  Tensor out({n, c});
+  Tensor out = Tensor::uninit({n, c});
   const float* in = logits.data();
   float* o = out.data();
   // Rows are independent; sharding them over the pool is bit-exact.
@@ -306,7 +313,7 @@ Tensor softmax_rows(const Tensor& logits) {
 Tensor transpose(const Tensor& t) {
   require(t.rank() == 2, "transpose: rank-2 required");
   const int m = t.dim(0), n = t.dim(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::uninit({n, m});
   const float* in = t.data();
   float* o = out.data();
   // Tiled to keep both access patterns cache-resident.
@@ -329,9 +336,9 @@ Tensor transpose(const Tensor& t) {
 Tensor take_row(const Tensor& t, int row) {
   require(t.rank() >= 1, "take_row: rank >= 1 required");
   require(row >= 0 && row < t.dim(0), "take_row: row out of range");
-  std::vector<int> shape = t.shape();
+  Shape shape = t.shape();
   shape[0] = 1;
-  Tensor out(std::move(shape));
+  Tensor out = Tensor::uninit(shape);
   const std::size_t stride = t.numel() / static_cast<std::size_t>(t.dim(0));
   std::copy_n(t.data() + static_cast<std::size_t>(row) * stride, stride,
               out.data());
@@ -343,9 +350,9 @@ Tensor stack_rows(std::span<const Tensor> rows) {
   const Tensor& first = rows.front();
   require(first.rank() >= 1 && first.dim(0) == 1,
           "stack_rows: rows must have leading dim 1");
-  std::vector<int> shape = first.shape();
+  Shape shape = first.shape();
   shape[0] = static_cast<int>(rows.size());
-  Tensor out(std::move(shape));
+  Tensor out = Tensor::uninit(shape);
   const std::size_t stride = first.numel();
   float* o = out.data();
   for (std::size_t i = 0; i < rows.size(); ++i) {

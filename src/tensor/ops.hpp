@@ -8,6 +8,13 @@
 // only disjoint output rows, so results are bit-for-bit identical to the
 // single-threaded seed kernels for *any* DARNET_THREADS value. See
 // DESIGN.md "Threading model".
+//
+// Kernel dispatch (tensor/kernels.hpp): the GEMM entry points select a
+// vector microkernel (AVX2 / AVX-512) at runtime when DARNET_KERNELS
+// allows it. The scalar path below remains the bit-parity golden; the
+// vector path is deterministic per-ISA (thread count still cannot change
+// results) but uses FMA, so it matches the golden only to tolerance. See
+// DESIGN.md "Kernel architecture".
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,87 @@
+// Small-buffer tensor shape. Tensors are at most rank 4 everywhere in
+// DarNet (batch, channel, height, width), so storing dims in a fixed
+// inline array removes the per-Tensor heap allocation a std::vector<int>
+// shape would cost -- a prerequisite for the zero-alloc inference hot
+// path (DESIGN.md "Kernel architecture").
+//
+// Shape converts implicitly from and to std::vector<int> so cold-path
+// interfaces (Layer::shape_contract, checkpoint code, tests) keep their
+// vector-based signatures; the conversions allocate and must stay off the
+// hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace darnet::tensor {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 7;
+
+  constexpr Shape() noexcept = default;
+  Shape(std::initializer_list<int> dims) { assign(dims.begin(), dims.size()); }
+  // NOLINTNEXTLINE(google-explicit-constructor): vector interop by design.
+  Shape(const std::vector<int>& dims) { assign(dims.data(), dims.size()); }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): cold-path interop only.
+  operator std::vector<int>() const {
+    return std::vector<int>(begin(), end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return rank_; }
+  [[nodiscard]] bool empty() const noexcept { return rank_ == 0; }
+
+  [[nodiscard]] int operator[](std::size_t i) const noexcept {
+    return dims_[i];
+  }
+  [[nodiscard]] int& operator[](std::size_t i) noexcept { return dims_[i]; }
+
+  [[nodiscard]] const int* begin() const noexcept { return dims_.data(); }
+  [[nodiscard]] const int* end() const noexcept { return dims_.data() + rank_; }
+  [[nodiscard]] int* begin() noexcept { return dims_.data(); }
+  [[nodiscard]] int* end() noexcept { return dims_.data() + rank_; }
+
+  void push_back(int d) {
+    if (rank_ >= kMaxRank) throw std::length_error("Shape: rank > kMaxRank");
+    dims_[rank_++] = d;
+  }
+  void clear() noexcept { rank_ = 0; }
+
+  friend bool operator==(const Shape& a, const Shape& b) noexcept {
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  void assign(const int* p, std::size_t n) {
+    if (n > kMaxRank) throw std::length_error("Shape: rank > kMaxRank");
+    rank_ = n;
+    for (std::size_t i = 0; i < n; ++i) dims_[i] = p[i];
+  }
+
+  std::array<int, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+// Heterogeneous comparisons keep vector-based call sites (contracts,
+// tests) working without a conversion round-trip.
+inline bool operator==(const Shape& a, const std::vector<int>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+inline bool operator==(const std::vector<int>& a, const Shape& b) noexcept {
+  return b == a;
+}
+
+}  // namespace darnet::tensor

@@ -5,7 +5,7 @@
 
 namespace darnet::tensor {
 
-std::size_t shape_numel(const std::vector<int>& shape) {
+std::size_t shape_numel(const Shape& shape) {
   std::size_t n = 1;
   for (int d : shape) {
     if (d <= 0) throw std::invalid_argument("Tensor: dims must be positive");
@@ -14,25 +14,32 @@ std::size_t shape_numel(const std::vector<int>& shape) {
   return n;
 }
 
-Tensor::Tensor(std::vector<int> shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(shape_numel(shape_), Storage::Init::kZeroed) {}
 
-Tensor Tensor::full(std::vector<int> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor Tensor::uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = Storage(shape_numel(t.shape_), Storage::Init::kUninit);
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t = Tensor::uninit(shape);
   t.fill(value);
   return t;
 }
 
-Tensor Tensor::he_normal(std::vector<int> shape, int fan_in, util::Rng& rng) {
+Tensor Tensor::he_normal(Shape shape, int fan_in, util::Rng& rng) {
   if (fan_in <= 0) throw std::invalid_argument("he_normal: fan_in must be > 0");
-  Tensor t(std::move(shape));
+  Tensor t = Tensor::uninit(shape);
   const double stddev = std::sqrt(2.0 / fan_in);
   for (auto& v : t.data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
   return t;
 }
 
-Tensor Tensor::uniform(std::vector<int> shape, float limit, util::Rng& rng) {
-  Tensor t(std::move(shape));
+Tensor Tensor::uniform(Shape shape, float limit, util::Rng& rng) {
+  Tensor t = Tensor::uninit(shape);
   for (auto& v : t.data_) v = static_cast<float>(rng.uniform(-limit, limit));
   return t;
 }
@@ -94,13 +101,23 @@ float Tensor::at(int i0, int i1, int i2, int i3) const {
   return data_[index4(i0, i1, i2, i3)];
 }
 
-Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+Tensor Tensor::reshaped(Shape new_shape) const& {
   if (shape_numel(new_shape) != numel()) {
     throw std::invalid_argument("Tensor::reshaped: numel mismatch");
   }
   Tensor t;
-  t.shape_ = std::move(new_shape);
+  t.shape_ = new_shape;
   t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch");
+  }
+  Tensor t;
+  t.shape_ = new_shape;
+  t.data_ = std::move(data_);
   return t;
 }
 
@@ -118,19 +135,23 @@ std::string Tensor::shape_string() const {
 void Tensor::serialize(util::BinaryWriter& writer) const {
   writer.write_u32(static_cast<std::uint32_t>(shape_.size()));
   for (int d : shape_) writer.write_u32(static_cast<std::uint32_t>(d));
-  writer.write_f32_span(data_);
+  writer.write_f32_span(flat());
 }
 
 Tensor Tensor::deserialize(util::BinaryReader& reader) {
   const auto rank = reader.read_u32();
-  std::vector<int> shape(rank);
-  for (auto& d : shape) d = static_cast<int>(reader.read_u32());
-  Tensor t;
-  t.data_ = reader.read_f32_vector();
-  if (t.data_.size() != shape_numel(shape)) {
+  Shape shape;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    shape.push_back(static_cast<int>(reader.read_u32()));
+  }
+  const std::uint64_t n = reader.read_u64();
+  if (n != shape_numel(shape)) {
     throw std::invalid_argument("Tensor::deserialize: corrupt payload");
   }
-  t.shape_ = std::move(shape);
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = Storage(static_cast<std::size_t>(n), Storage::Init::kUninit);
+  reader.read_f32_into(t.data_.data(), static_cast<std::size_t>(n));
   return t;
 }
 

@@ -2,6 +2,12 @@
 // network library. Deliberately minimal: contiguous float32 storage, shape
 // bookkeeping, and checked element access; all heavy math lives in
 // tensor/ops.hpp as free functions over spans.
+//
+// Storage is arena-backed (tensor/arena.hpp): while an ArenaScope is
+// active on the thread, payload blocks are recycled through a free list
+// instead of malloc/free -- the basis of the zero-alloc inference path.
+// Shape is a small-buffer type (tensor/shape.hpp), so constructing a
+// Tensor performs at most one (pooled) allocation.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +18,8 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/shape.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 
@@ -22,21 +30,20 @@ class Tensor {
   Tensor() = default;
 
   /// Zero-initialised tensor of the given shape.
-  explicit Tensor(std::vector<int> shape);
-  Tensor(std::initializer_list<int> shape)
-      : Tensor(std::vector<int>(shape)) {}
+  explicit Tensor(Shape shape);
 
-  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
-  static Tensor full(std::vector<int> shape, float value);
+  static Tensor zeros(Shape shape) { return Tensor(shape); }
+  /// Allocated but NOT initialised -- for outputs every element of which
+  /// is overwritten before being read (kernels, layer outputs). Skipping
+  /// the zero-fill matters on the inference hot path.
+  static Tensor uninit(Shape shape);
+  static Tensor full(Shape shape, float value);
   /// He/Kaiming-style Gaussian initialisation: stddev = sqrt(2 / fan_in).
-  static Tensor he_normal(std::vector<int> shape, int fan_in,
-                          util::Rng& rng);
+  static Tensor he_normal(Shape shape, int fan_in, util::Rng& rng);
   /// Uniform in [-limit, limit].
-  static Tensor uniform(std::vector<int> shape, float limit, util::Rng& rng);
+  static Tensor uniform(Shape shape, float limit, util::Rng& rng);
 
-  [[nodiscard]] const std::vector<int>& shape() const noexcept {
-    return shape_;
-  }
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
   [[nodiscard]] int dim(std::size_t axis) const {
     if (axis >= shape_.size()) {
       throw std::out_of_range("Tensor::dim: axis out of range");
@@ -49,8 +56,12 @@ class Tensor {
 
   [[nodiscard]] float* data() noexcept { return data_.data(); }
   [[nodiscard]] const float* data() const noexcept { return data_.data(); }
-  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
-  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+  [[nodiscard]] std::span<float> flat() noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const float> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
 
   // Flat indexing. Unchecked in release builds; checked builds
   // (DARNET_CHECKED) assert the bound and abort with attribution on OOB.
@@ -77,7 +88,10 @@ class Tensor {
   void zero() noexcept { fill(0.0f); }
 
   /// Reinterpret the same storage with a new shape (numel must match).
-  [[nodiscard]] Tensor reshaped(std::vector<int> new_shape) const;
+  /// The rvalue overload moves the payload instead of copying it -- the
+  /// inference Flatten path.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const&;
+  [[nodiscard]] Tensor reshaped(Shape new_shape) &&;
 
   /// Shape equality.
   [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
@@ -94,11 +108,11 @@ class Tensor {
   [[nodiscard]] std::size_t index3(int i0, int i1, int i2) const;
   [[nodiscard]] std::size_t index4(int i0, int i1, int i2, int i3) const;
 
-  std::vector<int> shape_;
-  std::vector<float> data_;
+  Shape shape_;
+  Storage data_;
 };
 
 /// Total element count implied by a shape; throws on non-positive dims.
-[[nodiscard]] std::size_t shape_numel(const std::vector<int>& shape);
+[[nodiscard]] std::size_t shape_numel(const Shape& shape);
 
 }  // namespace darnet::tensor

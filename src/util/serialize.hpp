@@ -88,6 +88,14 @@ class BinaryReader {
     return out;
   }
 
+  /// Raw f32 payload into caller storage (no length prefix consumed) --
+  /// lets arena-backed buffers deserialize without a heap round-trip.
+  void read_f32_into(float* dst, std::size_t n) {
+    require(n * sizeof(float));
+    std::memcpy(dst, bytes_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
+
   [[nodiscard]] bool exhausted() const noexcept {
     return pos_ == bytes_.size();
   }

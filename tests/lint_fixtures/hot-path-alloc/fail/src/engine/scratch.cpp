@@ -1,0 +1,10 @@
+// Fixture: a float vector on the inference hot path (src/engine/ is a
+// hot-path-alloc directory and this file is not in the exemption
+// registry).
+#include <vector>
+float sum_scores(int n) {
+  std::vector<float> scores(static_cast<std::size_t>(n), 0.0F);
+  float s = 0.0F;
+  for (float v : scores) s += v;
+  return s;
+}

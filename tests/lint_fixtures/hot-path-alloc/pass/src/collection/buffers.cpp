@@ -1,0 +1,11 @@
+// Fixture: float vectors outside the hot-path directories are fine --
+// src/collection/ is an offline ingestion tier with no steady-state
+// inference contract.
+#include <cstddef>
+#include <vector>
+float sum_samples(int n) {
+  std::vector<float> samples(static_cast<std::size_t>(n), 0.5F);
+  float s = 0.0F;
+  for (float v : samples) s += v;
+  return s;
+}

@@ -1,0 +1,12 @@
+// Fixture: non-float vectors are fine in hot-path directories (the rule
+// targets the numeric buffers that belong in tensor::Storage), comments
+// may name std::vector<float> freely, and other element types carry no
+// steady-state allocation contract.
+#include <cstddef>
+#include <vector>
+float sum_ids(int n) {
+  std::vector<int> ids(static_cast<std::size_t>(n), 1);
+  float s = 0.0F;
+  for (int v : ids) s += static_cast<float>(v);
+  return s;
+}

@@ -1,0 +1,14 @@
+// Fixture: allocation-function signatures (`operator new` / `operator
+// delete`) are definitions, not raw new/delete expressions. Replacement
+// allocators such as the counting allocator in test_hotpath_alloc.cpp
+// define these legitimately.
+#include <cstdlib>
+#include <new>
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }

@@ -1,0 +1,125 @@
+// Zero-alloc inference hot path: the proof.
+//
+// DESIGN.md "Kernel architecture" promises that steady-state
+// classify_batch performs no heap allocations: every buffer the forward
+// pass needs (activations, im2col scratch, padded planes, outputs) is
+// recycled through the thread's arena, and the packed-weight caches are
+// built once, not per call. This suite replaces the global allocator
+// with a counting one and asserts the promise literally -- after a
+// warm-up pass populates the arena's buckets and the pack caches, N
+// further classify_batch calls must perform exactly zero `new`s.
+//
+// The hot-path-alloc lint rule is the static half of this contract
+// (no std::vector<float> in the hot-path directories); this test is the
+// dynamic half that catches what a token ban cannot (std::string
+// churn, shared_ptr copies, map rebalancing, ...).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "engine/architectures.hpp"
+#include "engine/engine.hpp"
+#include "parallel/pool.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// Counting global allocator. Counting is gated so gtest's own
+// bookkeeping (test registration, assertion messages) never pollutes the
+// measured window.
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_news{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using darnet::tensor::Tensor;
+namespace engine = darnet::engine;
+namespace kernels = darnet::tensor::kernels;
+namespace nn = darnet::nn;
+using darnet::util::Rng;
+
+/// Steady-state allocation count for `iters` classify_batch calls on the
+/// real FrameCnn ensemble under the given kernel ISA.
+std::size_t steady_state_news(kernels::Isa isa, int iters) {
+  kernels::set_isa(isa);
+  engine::FrameCnnConfig cfg;
+  auto cnn = std::make_shared<nn::Sequential>(engine::build_frame_cnn(cfg));
+  engine::EnsembleClassifier ensemble(
+      std::make_shared<engine::NeuralClassifier>(cnn, cfg.num_classes, "cnn"),
+      nullptr, darnet::bayes::ClassMap::darnet_default());
+  Rng rng(21);
+  const Tensor frame = Tensor::uniform({1, 1, 48, 48}, 0.5F, rng);
+  const Tensor imu = Tensor({1, 1, 1});
+  // Warm-up: populate the engine's fallback arena buckets and the
+  // packed-weight caches (both allocate, by design, exactly once).
+  // Counting through it also proves the counter sees the engine's
+  // allocations at all -- a zero that came from a broken hook would make
+  // the steady-state assertion vacuous.
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i) {
+    Tensor p = ensemble.classify_batch(frame, imu);
+    EXPECT_EQ(p.numel(), static_cast<std::size_t>(cfg.num_classes));
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_GT(g_news.load(std::memory_order_relaxed), 0u)
+      << "counting hook saw no warm-up allocations; the measurement "
+         "cannot be trusted";
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < iters; ++i) {
+    Tensor p = ensemble.classify_batch(frame, imu);
+  }
+  g_counting.store(false, std::memory_order_relaxed);
+  kernels::set_isa(kernels::Isa::kScalar);
+  return g_news.load(std::memory_order_relaxed);
+}
+
+TEST(HotPathAlloc, ClassifyBatchIsZeroAllocAfterWarmup) {
+#ifdef DARNET_CHECKED
+  // Checked builds deliberately trade allocations for diagnostics: the
+  // per-call ShardWriteTracker (shard-overlap detection in Conv2D and
+  // matmul) grows a heap-backed range list on every forward pass. The
+  // zero-alloc contract is a property of release builds only; the
+  // default, obs, and obs-off CI legs pin it.
+  GTEST_SKIP() << "checked builds allocate in diagnostics by design";
+#endif
+  // Single-thread execution keeps the measurement exact (the pool's
+  // inline path); the serve tier gives each worker its own arena, so one
+  // thread's steady state is every thread's steady state.
+  const int entry_threads = darnet::parallel::thread_count();
+  darnet::parallel::set_thread_count(1);
+  EXPECT_EQ(steady_state_news(kernels::Isa::kScalar, 16), 0u)
+      << "scalar classify_batch allocated after warm-up";
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kAvx512}) {
+    if (!kernels::isa_supported(isa)) continue;
+    EXPECT_EQ(steady_state_news(isa, 16), 0u)
+        << "vector classify_batch allocated after warm-up";
+  }
+  darnet::parallel::set_thread_count(entry_threads);
+}
+
+}  // namespace

@@ -24,6 +24,19 @@
 #            suites (test_sync, test_serve, test_parallel) and repeating
 #            them until-fail:2 -- the lock-order graph, held-lock stack
 #            and CV watchdog run under tsan at the same time
+#   bench-smoke
+#            build EVERY bench target (Release, observability on) and run
+#            each binary once in its cheapest configuration, so a kernel
+#            or API refactor cannot silently break the bench tree between
+#            evidence refreshes. The google-benchmark harnesses run with
+#            --benchmark_min_time=0.01 (the installed benchmark release
+#            predates the "1x" iteration syntax, so a small wall-clock
+#            bound is the portable one-iteration ask) and must exit 0.
+#            The experiment harnesses run at tiny argv scales; their
+#            qualitative paper gates are only meaningful at the full
+#            scales recorded in EXPERIMENTS.md, so smoke accepts exit 0
+#            (gate met) or 1 (gate missed at smoke scale) and fails on
+#            anything else -- crashes, sanity aborts (exit >= 2), signals.
 #
 # Usage:
 #   tools/ci/check.sh                # run every leg
@@ -41,7 +54,8 @@ ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
-ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sync-stress)
+ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sync-stress
+          bench-smoke)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -117,6 +131,80 @@ run_serve_smoke() {
   return 0
 }
 
+# bench-smoke leg: the bench tree must build and every harness must run
+# end to end. Experiment harnesses take their cheapest argv scale and may
+# miss their full-scale qualitative gates (exit 1); anything beyond that
+# (exit >= 2, crash, signal) fails the leg.
+run_bench_smoke() {
+  leg_dir="${BUILD_ROOT}/bench-smoke"
+  echo
+  echo "=== [bench-smoke] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON \
+       -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=ON; then
+    FAILED+=("bench-smoke (configure)")
+    return 1
+  fi
+  # Every add_executable under bench/ -- new harnesses are picked up
+  # automatically, so the leg cannot silently go stale.
+  bench_targets="$(sed -n \
+      's/^\(darnet_bench(\|add_executable(\)\(bench_[a-z0-9_]*\).*/\2/p' \
+      "${ROOT}/bench/CMakeLists.txt" | sort -u)"
+  if [ -z "${bench_targets}" ]; then
+    echo "bench-smoke: no bench targets found in bench/CMakeLists.txt" >&2
+    FAILED+=("bench-smoke (target discovery)")
+    return 1
+  fi
+  echo "=== [bench-smoke] build all bench targets (-j${JOBS}) ==="
+  # shellcheck disable=SC2086  # word splitting over target names intended
+  if ! cmake --build "${leg_dir}" -j "${JOBS}" \
+       $(printf -- '--target %s ' ${bench_targets}); then
+    FAILED+=("bench-smoke (build)")
+    return 1
+  fi
+  echo "=== [bench-smoke] run each harness once ==="
+  smoke_bad=0
+  for target in ${bench_targets}; do
+    bin="${leg_dir}/bench/${target}"
+    case "${target}" in
+      # google-benchmark harnesses: no qualitative gate, must exit 0.
+      bench_perf_micro|bench_obs_overhead)
+        args="--benchmark_min_time=0.01"
+        ok_status="0" ;;
+      # Experiment harnesses: cheapest argv scale; gate miss (1) is fine.
+      bench_table1_dataset)      args="0.01";  ok_status="0 1" ;;
+      bench_table2_ensemble)     args="0.01";  ok_status="0 1" ;;
+      bench_fig5_confusion)      args="0.01";  ok_status="0 1" ;;
+      bench_imu_models)          args="40";    ok_status="0 1" ;;
+      bench_table3_dcnn)         args="6";     ok_status="0 1" ;;
+      bench_fig12_pipeline)      args="0.005"; ok_status="0 1" ;;
+      bench_fig3_privacy_paths)  args="20";    ok_status="0 1" ;;
+      bench_ablation_combiner)   args="0.01";  ok_status="0 1" ;;
+      bench_ablation_smoothing)  args="30";    ok_status="0 1" ;;
+      bench_ablation_distortion) args="5";     ok_status="0 1" ;;
+      bench_ablation_drivers)    args="0.01";  ok_status="0 1" ;;
+      bench_ablation_pretrain)   args="0.002"; ok_status="0 1" ;;
+      bench_ext_multimodal)      args="0.01";  ok_status="0 1" ;;
+      *)                         args="";      ok_status="0 1" ;;
+    esac
+    # shellcheck disable=SC2086
+    "${bin}" ${args} > /dev/null 2>&1
+    status=$?
+    case " ${ok_status} " in
+      *" ${status} "*)
+        echo "  ${target}: ok (exit ${status})" ;;
+      *)
+        echo "  ${target}: FAILED (exit ${status})" >&2
+        smoke_bad=1 ;;
+    esac
+  done
+  if [ "${smoke_bad}" -ne 0 ]; then
+    FAILED+=("bench-smoke (run)")
+    return 1
+  fi
+  PASSED+=("bench-smoke")
+  return 0
+}
+
 # sync-stress leg: tsan + checked invariants on the lock-heavy suites
 # only, repeated so rare interleavings (teardown races, CV handoffs) get
 # more than one chance to bite.
@@ -176,6 +264,9 @@ for leg in "${LEGS[@]}"; do
       ;;
     sync-stress)
       run_sync_stress
+      ;;
+    bench-smoke)
+      run_bench_smoke
       ;;
     *)
       echo "check.sh: unknown leg '${leg}'" \

@@ -25,6 +25,17 @@
 //                    <iostream> in src/tensor or src/nn -- hot numeric
 //                    paths must not pull in console I/O (diagnostics
 //                    belong in darnet::check or util::logging)
+//   hot-path-alloc   no std::vector<float> / std::vector<double> in
+//                    src/tensor, src/nn, src/engine or src/serve -- the
+//                    inference hot path is zero-alloc in steady state
+//                    (test_hotpath_alloc proves it with a counting
+//                    allocator), so float buffers there must use
+//                    tensor::Storage / tensor::ArenaAlloc, which recycle
+//                    through the per-worker arena. Training / eval-only
+//                    code that legitimately lives in those directories is
+//                    listed in kHotPathAllocExempt with a reason; adding
+//                    an entry is a reviewed change, not a comment
+//                    annotation
 //   obs-name-literal every DARNET_COUNTER_ADD / DARNET_GAUGE_SET /
 //                    DARNET_HISTOGRAM_NS / DARNET_TIMER / DARNET_SPAN /
 //                    DARNET_SPAN_DETAIL call site in src/ must name its
@@ -246,6 +257,28 @@ void for_each_token(const std::string& code, std::string_view token,
   }
 }
 
+/// hot-path-alloc exemption registry. These files live inside hot-path
+/// directories but are never on the steady-state inference path, so the
+/// float-vector ban does not apply to them. Keep every entry justified:
+/// the registry is the rule's only escape hatch (there is no inline
+/// suppression comment), and an unexplained entry defeats the contract.
+constexpr std::string_view kHotPathAllocExempt[] = {
+    // Training-only: per-epoch shard loss accumulators; allocates once
+    // per fit() epoch, never under classify_batch.
+    "src/nn/trainer.cpp",
+    // Offline eval API: topk_accuracy takes caller-owned score vectors;
+    // only tests and the training loop call it.
+    "src/nn/metrics.hpp",
+    "src/nn/metrics.cpp",
+};
+
+bool hot_path_alloc_exempt(const std::string& rel) {
+  for (const std::string_view entry : kHotPathAllocExempt) {
+    if (rel == entry) return true;
+  }
+  return false;
+}
+
 std::size_t line_of(const std::string& code, std::size_t offset) {
   return 1 + static_cast<std::size_t>(
                  std::count(code.begin(),
@@ -277,6 +310,25 @@ bool is_deleted_function(const std::string& code, std::size_t pos) {
     --i;
   }
   return i > 0 && code[i - 1] == '=';
+}
+
+/// True when `new`/`delete` at `pos` is part of an allocation-function
+/// signature (`operator new`, `operator delete[]`, ...), not an
+/// expression. Replacement allocators (e.g. the counting allocator in
+/// tests/test_hotpath_alloc.cpp) define these legitimately.
+bool is_operator_function(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 &&
+         std::isspace(static_cast<unsigned char>(code[i - 1])) != 0) {
+    --i;
+  }
+  constexpr std::string_view kOperator = "operator";
+  if (i < kOperator.size()) return false;
+  if (code.compare(i - kOperator.size(), kOperator.size(), kOperator) != 0) {
+    return false;
+  }
+  const std::size_t before = i - kOperator.size();
+  return before == 0 || !ident_char(code[before - 1]);
 }
 
 /// Offset of the '}' matching the '{' at `open`, or npos when the file
@@ -560,6 +612,7 @@ struct Linter {
     if (!in_sync) {
       for_each_token(code, "new", [&](std::size_t pos) {
         if (!followed_by_operand(code, pos, 3)) return;
+        if (is_operator_function(code, pos)) return;
         report(path, line_of(code, pos), "raw-new",
                "raw new expression; use value types, containers or "
                "std::make_unique");
@@ -568,6 +621,7 @@ struct Linter {
 
     for_each_token(code, "delete", [&](std::size_t pos) {
       if (is_deleted_function(code, pos)) return;
+      if (is_operator_function(code, pos)) return;
       if (!followed_by_operand(code, pos, 6)) return;
       report(path, line_of(code, pos), "raw-delete",
              "raw delete expression; ownership must be RAII-managed");
@@ -621,6 +675,30 @@ struct Linter {
       if (code.find("#include <iostream>") != std::string::npos) {
         report(path, 1, "hot-path-io",
                "<iostream> include in a tensor/nn hot path");
+      }
+    }
+
+    // Zero-alloc hot path: float/double vectors are banned in the
+    // directories the steady-state inference path runs through. The
+    // sanctioned replacements (tensor::Storage, tensor::ArenaAlloc<T>)
+    // recycle allocations through the per-worker arena, which is what
+    // lets test_hotpath_alloc assert zero heap allocations per
+    // classify_batch after warm-up. Exemptions live in the registry
+    // below -- file-scoped, each with its reason -- so a new vector in
+    // these trees is a reviewed decision, never an accident.
+    const bool hot_alloc = hot_path || rel.starts_with("src/engine/") ||
+                           rel.starts_with("src/serve/");
+    if (hot_alloc && !hot_path_alloc_exempt(rel)) {
+      for (const char* token :
+           {"std::vector<float>", "std::vector<double>"}) {
+        for_each_token(code, token, [&](std::size_t pos) {
+          report(path, line_of(code, pos), "hot-path-alloc",
+                 std::string(token) +
+                     " in an inference hot-path directory; use "
+                     "tensor::Storage or tensor::ArenaAlloc so the "
+                     "steady-state path stays zero-alloc (or add a "
+                     "kHotPathAllocExempt entry with a reason)");
+        });
       }
     }
 
