@@ -201,7 +201,15 @@ void ThreadPool::for_range(std::int64_t begin, std::int64_t end,
         "zero or multiple times)");
   }
 #endif
-  if (region.error) std::rethrow_exception(region.error);
+  // All workers have drained (pending_ == 0 above), so no writer remains --
+  // but take error_mu anyway: the guarded-by contract is unconditional, and
+  // the lock also publishes the error written by the last failing worker.
+  std::exception_ptr error;
+  {
+    sync::Lock lock(region.error_mu);
+    error = region.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 int thread_count() noexcept {

@@ -229,6 +229,17 @@ std::uint64_t order_edge_count() noexcept {
   return g_edge_count.load(std::memory_order_relaxed);
 }
 
+std::vector<OrderEdge> order_graph_snapshot() {
+  std::vector<OrderEdge> out;
+  std::lock_guard<std::mutex> lock(graph_mu());
+  for (const auto& [from, row] : edges()) {
+    for (const auto& [to, site] : row) {
+      out.push_back(OrderEdge{from, to, site.acquire_file, site.acquire_line});
+    }
+  }
+  return out;  // EdgeMap iteration is already (from, to)-sorted
+}
+
 void reset_order_graph_for_test() noexcept {
   std::lock_guard<std::mutex> lock(graph_mu());
   edges().clear();

@@ -43,6 +43,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <vector>
 
 // Lint-level annotations (machine-checked by darnet_lint sync-guarded-by).
 #define DARNET_GUARDED_BY(mu)
@@ -251,6 +253,17 @@ struct WatchdogConfig {
   bool fatal = false;
 };
 
+// One edge of the runtime lock-order graph: `to` was acquired while `from`
+// was held, first observed at acquire_file:acquire_line. Exported so
+// darnet_analyze's statically-extracted graph can be cross-checked against
+// what actually happened at runtime (tests/test_analyze.cpp).
+struct OrderEdge {
+  std::string from;
+  std::string to;
+  std::string acquire_file;
+  unsigned acquire_line = 0;
+};
+
 #if defined(DARNET_CHECKED)
 
 void set_wait_watchdog(WatchdogConfig config) noexcept;
@@ -261,6 +274,9 @@ void set_wait_watchdog(WatchdogConfig config) noexcept;
 [[nodiscard]] bool held_by_current_thread(const Mutex& mu) noexcept;
 [[nodiscard]] int held_count() noexcept;
 [[nodiscard]] std::uint64_t order_edge_count() noexcept;
+// Copies the lock-order graph observed so far (deterministic: edges sorted
+// by (from, to)). Empty in unchecked builds, where no graph is kept.
+[[nodiscard]] std::vector<OrderEdge> order_graph_snapshot();
 // Clears the global lock-order graph (edges learned so far).  Test-only:
 // lets death-test children seed conflicting orders from a clean slate.
 void reset_order_graph_for_test() noexcept;
@@ -341,6 +357,9 @@ inline void set_wait_watchdog(WatchdogConfig) noexcept {}
 }
 [[nodiscard]] inline int held_count() noexcept { return 0; }
 [[nodiscard]] inline std::uint64_t order_edge_count() noexcept { return 0; }
+[[nodiscard]] inline std::vector<OrderEdge> order_graph_snapshot() {
+  return {};
+}
 inline void reset_order_graph_for_test() noexcept {}
 
 class CondVar {

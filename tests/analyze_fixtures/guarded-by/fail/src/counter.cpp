@@ -1,0 +1,24 @@
+// Fixture: reads a DARNET_GUARDED_BY member with no lock held and no
+// DARNET_ASSERT_HELD on the path.
+namespace fix {
+
+class Counter {
+ public:
+  int bad_read();
+  void bump();
+
+ private:
+  sync::Mutex mu_{"fix/counter"};
+  int count_ DARNET_GUARDED_BY(mu_) = 0;
+};
+
+int Counter::bad_read() {
+  return count_;
+}
+
+void Counter::bump() {
+  sync::Lock lock(mu_);
+  count_ += 1;
+}
+
+}  // namespace fix

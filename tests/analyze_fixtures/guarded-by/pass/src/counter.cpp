@@ -1,0 +1,31 @@
+// Fixture: every access to the guarded member happens either under
+// sync::Lock or after DARNET_ASSERT_HELD documents the precondition.
+namespace fix {
+
+class Counter {
+ public:
+  int locked_read();
+  int asserted_read();
+  void bump();
+
+ private:
+  sync::Mutex mu_{"fix/counter"};
+  int count_ DARNET_GUARDED_BY(mu_) = 0;
+};
+
+int Counter::locked_read() {
+  sync::Lock lock(mu_);
+  return count_;
+}
+
+int Counter::asserted_read() {
+  DARNET_ASSERT_HELD(mu_);
+  return count_;
+}
+
+void Counter::bump() {
+  sync::Lock lock(mu_);
+  count_ += 1;
+}
+
+}  // namespace fix

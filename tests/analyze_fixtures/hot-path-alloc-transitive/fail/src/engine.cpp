@@ -1,0 +1,20 @@
+// Fixture: classify_batch reaches a heap allocation two calls deep.
+// The allocation itself is in leaf_helper; the rule must attribute it to
+// the hot-path root through the call chain classify_batch -> mid_helper
+// -> leaf_helper.
+namespace fix {
+
+float leaf_helper(int n) {
+  std::vector<float> scratch(static_cast<std::size_t>(n), 0.0F);
+  return scratch.empty() ? 0.0F : scratch[0];
+}
+
+float mid_helper(int n) {
+  return leaf_helper(n);
+}
+
+float classify_batch(int n) {
+  return mid_helper(n);
+}
+
+}  // namespace fix

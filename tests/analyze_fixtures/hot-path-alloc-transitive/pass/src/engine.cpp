@@ -1,0 +1,18 @@
+// Fixture: the same call shape as the fail tree, but the leaf writes into
+// a caller-provided buffer instead of allocating.
+namespace fix {
+
+float leaf_helper(float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = 0.0F;
+  return n > 0 ? out[0] : 0.0F;
+}
+
+float mid_helper(float* out, int n) {
+  return leaf_helper(out, n);
+}
+
+float classify_batch(float* out, int n) {
+  return mid_helper(out, n);
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Fixture: acquires the documented serve hierarchy in reverse order.
+// serve/exec (rank 1) is held while serve/admission (rank 0) is taken,
+// which inverts the admission -> exec -> apply hierarchy.
+namespace fix {
+
+sync::Mutex g_admission{"serve/admission"};
+sync::Mutex g_exec{"serve/exec"};
+
+int inverted_path() {
+  sync::Lock exec(g_exec);
+  sync::Lock admission(g_admission);
+  return 1;
+}
+
+}  // namespace fix

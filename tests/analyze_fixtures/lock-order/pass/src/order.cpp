@@ -1,0 +1,14 @@
+// Fixture: acquires the documented serve hierarchy in the documented
+// direction (serve/admission before serve/exec), which is clean.
+namespace fix {
+
+sync::Mutex g_admission{"serve/admission"};
+sync::Mutex g_exec{"serve/exec"};
+
+int ordered_path() {
+  sync::Lock admission(g_admission);
+  sync::Lock exec(g_exec);
+  return 1;
+}
+
+}  // namespace fix

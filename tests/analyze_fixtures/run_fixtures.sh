@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# darnet_analyze self-test: one minimal pass/fail mini-tree per analyzer rule.
+#
+# Layout: tests/analyze_fixtures/<rule>/{pass,fail}/ -- each mode directory
+# is a complete analysis root (it contains src/, and its own
+# tools/analyze/analyze_baseline.json where the rule exercises baseline
+# handling). A fail tree must make darnet_analyze exit 1 with at least one
+# finding tagged [<rule>] carrying file:line attribution; a pass tree must
+# analyze completely clean. This pins down every rule's trigger *and* its
+# sanctioned alternative, so analyzer refactors cannot silently widen or
+# narrow a rule.
+#
+# Usage: run_fixtures.sh <darnet_analyze-binary> <fixtures-dir>
+set -u
+
+ANALYZE="${1:?usage: run_fixtures.sh <darnet_analyze> <fixtures_dir>}"
+FIXTURES="${2:?usage: run_fixtures.sh <darnet_analyze> <fixtures_dir>}"
+
+if [ ! -x "$ANALYZE" ]; then
+  echo "run_fixtures: analyzer binary '$ANALYZE' is not executable" >&2
+  exit 2
+fi
+
+failures=0
+cases=0
+
+for rule_dir in "$FIXTURES"/*/; do
+  [ -d "$rule_dir" ] || continue
+  rule="$(basename "$rule_dir")"
+  for mode in pass fail; do
+    root="$rule_dir$mode"
+    [ -d "$root" ] || continue
+    cases=$((cases + 1))
+    out="$("$ANALYZE" "$root" 2>&1)"
+    status=$?
+    if [ "$mode" = pass ]; then
+      if [ "$status" -ne 0 ]; then
+        echo "FIXTURE FAIL: $rule/pass must analyze clean (exit $status):" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+      fi
+    else
+      if [ "$status" -ne 1 ]; then
+        echo "FIXTURE FAIL: $rule/fail must exit 1 (got $status):" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+      elif ! printf '%s' "$out" | grep -q "\[$rule\]"; then
+        echo "FIXTURE FAIL: $rule/fail findings lack a [$rule] tag:" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+      elif ! printf '%s' "$out" | grep -Eq "[^ ]+:[0-9]+: \[$rule\]"; then
+        echo "FIXTURE FAIL: $rule/fail findings lack file:line attribution:" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+      fi
+    fi
+  done
+done
+
+if [ "$cases" -eq 0 ]; then
+  echo "run_fixtures: no fixture cases found under $FIXTURES" >&2
+  exit 2
+fi
+if [ "$failures" -ne 0 ]; then
+  echo "run_fixtures: $failures of $cases fixture case(s) failed" >&2
+  exit 1
+fi
+echo "run_fixtures: $cases fixture case(s) ok"

@@ -1,0 +1,9 @@
+// Fixture: the tree itself is clean; the baseline next to it suppresses a
+// finding that no longer exists, which must be reported as stale.
+namespace fix {
+
+int answer() {
+  return 42;
+}
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Fixture: a real hot-path allocation finding that the baseline next to
+// this tree suppresses with a reviewed reason -- the analyzer must exit
+// clean, proving baseline application works end to end.
+namespace fix {
+
+float classify_batch(int n) {
+  std::vector<float> scratch(static_cast<std::size_t>(n), 0.0F);
+  return scratch.empty() ? 0.0F : scratch[0];
+}
+
+}  // namespace fix

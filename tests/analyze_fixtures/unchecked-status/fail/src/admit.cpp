@@ -1,0 +1,19 @@
+// Fixture: a Status-returning call used as a bare statement -- the
+// verdict is computed and thrown away.
+namespace fix {
+
+struct Status {
+  bool ok = true;
+};
+
+Status try_admit(int n) {
+  Status s;
+  s.ok = n > 0;
+  return s;
+}
+
+void caller(int n) {
+  try_admit(n);
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// Fixture: every Status-returning call binds or tests its result.
+namespace fix {
+
+struct Status {
+  bool ok = true;
+};
+
+Status try_admit(int n) {
+  Status s;
+  s.ok = n > 0;
+  return s;
+}
+
+int caller(int n) {
+  const Status s = try_admit(n);
+  if (!s.ok) return -1;
+  return try_admit(n + 1).ok ? 1 : 0;
+}
+
+}  // namespace fix

@@ -1,0 +1,120 @@
+// darnet_analyze — token/symbol-level cross-file static analyzer for the
+// darnet repo's concurrency, hot-path, and contract rules.
+//
+// Usage:
+//   darnet_analyze <repo_root> [--format=text|json] [--baseline=<path>]
+//                  [--no-stale-check] [--dump-lock-graph=<path>]
+//
+// Exit codes: 0 clean, 1 findings remain after the baseline, 2 usage/IO
+// error. Text findings go to stderr (same `file:line: [rule] message` shape
+// as darnet_lint, so tests/lint_fixtures/run_fixtures.sh drives both); JSON
+// goes to stdout. The default baseline is <root>/tools/analyze/
+// analyze_baseline.json when that file exists.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "tools/analyze/rules.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: darnet_analyze <repo_root> [--format=text|json] "
+               "[--baseline=<path>] [--no-stale-check] "
+               "[--dump-lock-graph=<path>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace darnet::analyze;
+  std::string root, format = "text", baseline_arg, dump_lock_graph;
+  bool stale_check = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return usage();
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_arg = arg.substr(11);
+    } else if (arg == "--no-stale-check") {
+      stale_check = false;
+    } else if (arg.rfind("--dump-lock-graph=", 0) == 0) {
+      dump_lock_graph = arg.substr(18);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty()) return usage();
+  std::filesystem::path rp(root);
+  if (!std::filesystem::exists(rp / "src")) {
+    std::fprintf(stderr, "darnet_analyze: '%s' does not look like the repo root (no src/)\n",
+                 root.c_str());
+    return 2;
+  }
+
+  AnalysisResult res = analyze_tree(rp);
+
+  // Baseline: explicit path wins; otherwise the checked-in default (if any).
+  std::string baseline_path = baseline_arg;
+  if (baseline_path.empty()) {
+    auto def = rp / "tools" / "analyze" / "analyze_baseline.json";
+    if (std::filesystem::exists(def)) baseline_path = def.generic_string();
+  }
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "darnet_analyze: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::vector<Suppression> baseline;
+    std::string err;
+    if (!parse_baseline(ss.str(), baseline, err)) {
+      std::fprintf(stderr, "darnet_analyze: malformed baseline '%s': %s\n",
+                   baseline_path.c_str(), err.c_str());
+      return 2;
+    }
+    apply_baseline(res.findings, baseline, "tools/analyze/analyze_baseline.json",
+                   stale_check);
+  }
+  sort_findings(res.findings);
+
+  if (!dump_lock_graph.empty()) {
+    std::ofstream out(dump_lock_graph, std::ios::binary);
+    out << "{\"edges\":[";
+    for (size_t i = 0; i < res.lock_edges.size(); ++i) {
+      const auto& e = res.lock_edges[i];
+      out << (i ? "," : "") << "\n  {\"from\":\"" << e.from << "\",\"to\":\""
+          << e.to << "\",\"file\":\"" << e.file << "\",\"line\":" << e.line
+          << "}";
+    }
+    out << (res.lock_edges.empty() ? "" : "\n") << "]}\n";
+  }
+
+  if (format == "json") {
+    std::cout << format_json(res.findings);
+  }
+  std::cerr << format_text(res.findings);
+  if (res.findings.empty()) {
+    std::fprintf(stderr,
+                 "darnet_analyze: clean (%d files, %d functions, %zu lock "
+                 "edges)\n",
+                 res.files_indexed, res.functions_indexed,
+                 res.lock_edges.size());
+    return 0;
+  }
+  std::fprintf(stderr, "darnet_analyze: %zu finding(s)\n", res.findings.size());
+  return 1;
+}

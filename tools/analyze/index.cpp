@@ -1,0 +1,816 @@
+#include "tools/analyze/index.hpp"
+
+#include <algorithm>
+
+namespace darnet::analyze {
+namespace {
+
+bool is_control_keyword(std::string_view t) {
+  static const std::set<std::string, std::less<>> kw = {
+      "if",    "else",   "for",     "while",  "do",      "switch",
+      "case",  "return", "break",   "continue", "goto",  "throw",
+      "new",   "delete", "co_return", "co_await", "co_yield"};
+  return kw.count(t) > 0;
+}
+
+bool is_decl_qualifier(std::string_view t) {
+  static const std::set<std::string, std::less<>> kw = {
+      "const",    "mutable",  "static", "constexpr", "constinit", "inline",
+      "volatile", "unsigned", "signed", "struct",    "class",     "typename",
+      "register", "thread_local", "extern"};
+  return kw.count(t) > 0;
+}
+
+bool never_a_call(std::string_view t) {
+  static const std::set<std::string, std::less<>> kw = {
+      "if",     "for",    "while",  "switch",  "return", "sizeof",
+      "alignof", "alignas", "catch", "new",     "delete", "throw",
+      "static_assert", "decltype", "noexcept", "assert"};
+  return kw.count(t) > 0;
+}
+
+}  // namespace
+
+size_t match_forward(const std::vector<Token>& toks, size_t open,
+                     std::string_view open_text, std::string_view close_text) {
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    if (is_punct(toks[j], open_text)) {
+      ++depth;
+    } else if (is_punct(toks[j], close_text)) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return toks.size();
+}
+
+namespace {
+
+struct Indexer {
+  Index& idx;
+  FileIndex& fx;
+  const std::vector<Token>& T;
+  int file_id;
+
+  const Token& tok(size_t j) const { return T[j]; }
+  bool punct_at(size_t j, std::string_view p) const {
+    return j < T.size() && is_punct(T[j], p);
+  }
+  bool ident_at(size_t j, std::string_view t) const {
+    return j < T.size() && is_ident(T[j], t);
+  }
+
+  // --- statement-level skipping -------------------------------------------
+
+  // Skip a `[[...]]` attribute at j; returns the index after it (or j).
+  size_t skip_attributes(size_t j) const {
+    while (punct_at(j, "[") && punct_at(j + 1, "[")) {
+      size_t k = j + 2;
+      int depth = 2;
+      while (k < T.size() && depth > 0) {
+        if (is_punct(T[k], "[")) ++depth;
+        if (is_punct(T[k], "]")) --depth;
+        ++k;
+      }
+      j = k;
+    }
+    return j;
+  }
+
+  // Skip a balanced `< ... >` starting at j (which must be '<').
+  size_t skip_angles(size_t j) const {
+    int depth = 0;
+    while (j < T.size()) {
+      if (is_punct(T[j], "<")) ++depth;
+      if (is_punct(T[j], ">")) --depth;
+      if (is_punct(T[j], ">>")) depth -= 2;
+      ++j;
+      if (depth <= 0) break;
+    }
+    return j;
+  }
+
+  // Advance past one declaration statement: to just after the next ';' at
+  // depth 0, balancing parens/braces/brackets.
+  size_t skip_statement(size_t j, size_t end) const {
+    int depth = 0;
+    while (j < end) {
+      const Token& t = T[j];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == "}" || t.text == "]") --depth;
+        if (t.text == ";" && depth <= 0) return j + 1;
+        if (depth < 0) return j;  // stray close: let the caller see it
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  // --- function definition detection --------------------------------------
+
+  struct DefMatch {
+    std::string name;
+    std::string klass_from_qual;  // from A::f pattern, "" if unqualified
+    bool ctor_dtor = false;
+    size_t paren = 0;      // '(' of the parameter list
+    size_t body_open = 0;  // '{'
+    size_t chain_begin = 0;  // first token of the name chain
+  };
+
+  // Try to match a function definition starting at `st`. On success returns
+  // true and fills `m`; the caller resumes after the body.
+  bool detect_function(size_t st, size_t end, DefMatch& m) const {
+    size_t j = skip_attributes(st);
+    if (ident_at(j, "template") && punct_at(j + 1, "<")) {
+      j = skip_angles(j + 1);
+      j = skip_attributes(j);
+    }
+    // Scan for the parameter-list '(' — an ident followed by '(' — without
+    // crossing tokens that can't precede a function name.
+    size_t p = T.size();
+    size_t k = j;
+    while (k < end) {
+      const Token& t = T[k];
+      if (t.kind == Tok::kString || t.kind == Tok::kNumber ||
+          t.kind == Tok::kChar)
+        return false;
+      if (t.kind == Tok::kPunct) {
+        if (t.text == ";" || t.text == "=" || t.text == "{" || t.text == "}")
+          return false;
+        if (t.text == "[") {
+          size_t k2 = skip_attributes(k);
+          if (k2 == k) return false;  // array declarator: not a function
+          k = k2;
+          continue;
+        }
+        if (t.text == "<" && k > st && !ident_at(k - 1, "operator")) {
+          // Template-argument list inside the return type.
+          k = skip_angles(k);
+          continue;
+        }
+        if (t.text == "(") {
+          // Candidate only if preceded by an identifier (or operator chain).
+          if (k > st && (T[k - 1].kind == Tok::kIdent ||
+                         (T[k - 1].kind == Tok::kPunct && has_operator(k)))) {
+            p = k;
+            break;
+          }
+          return false;
+        }
+      }
+      ++k;
+    }
+    if (p >= end) return false;
+    size_t close = match_forward(T, p, "(", ")");
+    if (close >= end) return false;
+
+    // Trailer: const/noexcept/ref-qualifiers/override/trailing-return, then
+    // either '{' (definition), or anything else (declaration).
+    size_t q = close + 1;
+    while (q < end) {
+      const Token& t = T[q];
+      if (t.kind == Tok::kIdent) {
+        if (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+            t.text == "final" || t.text == "mutable" || t.text == "try") {
+          ++q;
+          continue;
+        }
+        return false;  // e.g. a variable name: `int x = f() ...`
+      }
+      if (t.kind != Tok::kPunct) return false;
+      if (t.text == "&" || t.text == "&&") {
+        ++q;
+        continue;
+      }
+      if (t.text == "(") {  // noexcept(...)
+        q = match_forward(T, q, "(", ")") + 1;
+        continue;
+      }
+      if (t.text == "[") {
+        size_t q2 = skip_attributes(q);
+        if (q2 == q) return false;
+        q = q2;
+        continue;
+      }
+      if (t.text == "->") {  // trailing return type
+        ++q;
+        while (q < end) {
+          const Token& u = T[q];
+          if (u.kind == Tok::kIdent || is_punct(u, "::") || is_punct(u, "<") ||
+              is_punct(u, ">") || is_punct(u, ">>") || is_punct(u, "*") ||
+              is_punct(u, "&") || is_punct(u, ",")) {
+            ++q;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (t.text == ":") {  // ctor-init list: consume until the body '{'
+        ++q;
+        int depth = 0;
+        while (q < end) {
+          const Token& u = T[q];
+          if (u.kind == Tok::kPunct) {
+            if (u.text == "(" || u.text == "[") ++depth;
+            if (u.text == ")" || u.text == "]") --depth;
+            if (u.text == "{") {
+              // Brace-init of a member is preceded by an ident or '>'; the
+              // body brace follows ')' or '}' of the last initializer.
+              if (depth == 0 && q > 0 &&
+                  (T[q - 1].kind == Tok::kIdent || is_punct(T[q - 1], ">"))) {
+                q = match_forward(T, q, "{", "}") + 1;
+                continue;
+              }
+              break;  // the body
+            }
+            if (u.text == ";") return false;
+          }
+          ++q;
+        }
+        continue;
+      }
+      if (t.text == "{") break;  // the body
+      return false;  // ';', '=', ',', ...: a declaration, not a definition
+    }
+    if (q >= end || !punct_at(q, "{")) return false;
+
+    // Walk the name chain back from '('.
+    size_t nk = p - 1;
+    std::string name;
+    if (T[nk].kind == Tok::kPunct) {
+      std::string ops;
+      size_t ok = nk;
+      while (ok > st && T[ok].kind == Tok::kPunct && T[ok].text != "::") {
+        ops = T[ok].text + ops;
+        --ok;
+      }
+      if (!ident_at(ok, "operator")) return false;
+      name = "operator" + ops;
+      nk = ok;
+    } else {
+      name = T[nk].text;
+      if (nk > st && ident_at(nk - 1, "operator")) {
+        // conversion operator (`operator bool`): keep the type as the name.
+        nk = nk - 1;
+      }
+    }
+    m.name = name;
+    m.ctor_dtor = false;
+    m.chain_begin = nk;
+    // `~Name` destructor?
+    if (nk > st && punct_at(nk - 1, "~")) {
+      m.ctor_dtor = true;
+      --nk;
+      m.chain_begin = nk;
+    }
+    // Qualifier chain `A::B::name`.
+    std::vector<std::string> quals;
+    while (nk >= st + 2 && punct_at(nk - 1, "::") &&
+           T[nk - 2].kind == Tok::kIdent) {
+      quals.push_back(T[nk - 2].text);
+      nk -= 2;
+      m.chain_begin = nk;
+    }
+    if (!quals.empty()) {
+      m.klass_from_qual = quals.front();  // innermost qualifier
+      if (m.name == m.klass_from_qual) m.ctor_dtor = true;
+    }
+    m.paren = p;
+    m.body_open = q;
+    return true;
+  }
+
+  bool has_operator(size_t paren) const {
+    size_t k = paren - 1;
+    while (k > 0 && T[k].kind == Tok::kPunct && T[k].text != "::") --k;
+    return ident_at(k, "operator");
+  }
+
+  // --- member / declaration extraction -------------------------------------
+
+  void record_free_mutex(size_t st, size_t semi, const std::string& enclosing) {
+    for (size_t j = st; j + 4 < semi; ++j) {
+      if (is_ident(T[j], "sync") && punct_at(j + 1, "::") &&
+          ident_at(j + 2, "Mutex") && j + 3 < semi &&
+          T[j + 3].kind == Tok::kIdent) {
+        std::string var = T[j + 3].text;
+        std::string literal;
+        if ((punct_at(j + 4, "{") || punct_at(j + 4, "(")) && j + 5 < semi &&
+            T[j + 5].kind == Tok::kString) {
+          literal = T[j + 5].text;
+        }
+        idx.free_mutexes.push_back(
+            FreeMutex{var, literal, enclosing, fx.lex.path, T[j].line});
+        return;
+      }
+    }
+  }
+
+  // Namespace-scope variable declaration: `<type-run> name (= | { | ;)`.
+  // Same shape heuristic as function-local declarations.
+  void record_global_types(size_t st, size_t semi) {
+    if (st >= semi) return;
+    size_t stop = semi;
+    for (size_t j = st; j < semi; ++j) {
+      if (is_punct(T[j], "=") || is_punct(T[j], "{") || is_punct(T[j], "(")) {
+        stop = j;
+        break;
+      }
+    }
+    if (stop == st) return;
+    size_t name_pos = stop;
+    while (name_pos-- > st) {
+      if (T[name_pos].kind == Tok::kIdent &&
+          !is_decl_qualifier(T[name_pos].text))
+        break;
+    }
+    if (name_pos <= st || T[name_pos].kind != Tok::kIdent) return;
+    std::vector<std::string> types;
+    for (size_t k = st; k < name_pos; ++k) {
+      if (T[k].kind == Tok::kIdent && !is_decl_qualifier(T[k].text)) {
+        if (is_control_keyword(T[k].text)) return;
+        types.push_back(T[k].text);
+      }
+    }
+    if (types.empty()) return;
+    auto& slot = idx.global_types[T[name_pos].text];
+    if (slot.empty()) slot = std::move(types);
+  }
+
+  void extract_member(size_t st, size_t semi, ClassInfo& cls) {
+    if (st >= semi) return;
+    if (T[st].kind == Tok::kIdent &&
+        (T[st].text == "using" || T[st].text == "typedef" ||
+         T[st].text == "friend" || T[st].text == "static_assert" ||
+         T[st].text == "template"))
+      return;
+
+    // sync::Mutex member with optional compile-time name literal.
+    for (size_t j = st; j + 3 < semi; ++j) {
+      if (is_ident(T[j], "sync") && punct_at(j + 1, "::") &&
+          ident_at(j + 2, "Mutex") && T[j + 3].kind == Tok::kIdent) {
+        std::string member = T[j + 3].text;
+        std::string literal;
+        if (j + 5 < semi && (punct_at(j + 4, "{") || punct_at(j + 4, "(")) &&
+            T[j + 5].kind == Tok::kString) {
+          literal = T[j + 5].text;
+        }
+        auto& slot = cls.mutex_names[member];
+        if (slot.empty()) slot = literal;
+        break;
+      }
+    }
+
+    // DARNET_GUARDED_BY(guard) — guard the last identifier before the macro.
+    size_t guard_at = semi;
+    for (size_t j = st; j < semi; ++j) {
+      if (is_ident(T[j], "DARNET_GUARDED_BY")) {
+        guard_at = j;
+        break;
+      }
+    }
+    std::string member_name;
+    {
+      // Name = last identifier before the first of '=', '{', the guard macro,
+      // or the end of the statement.
+      size_t stop = semi;
+      for (size_t j = st; j < semi; ++j) {
+        if (is_punct(T[j], "=") || is_punct(T[j], "{")) {
+          stop = j;
+          break;
+        }
+        if (j == guard_at) {
+          stop = j;
+          break;
+        }
+      }
+      for (size_t j = stop; j-- > st;) {
+        if (T[j].kind == Tok::kIdent && !is_decl_qualifier(T[j].text)) {
+          member_name = T[j].text;
+          // Member types: idents before the name, unless this looks like a
+          // function declaration ('(' before the name at any nesting).
+          bool has_paren = false;
+          std::vector<std::string> types;
+          for (size_t k = st; k < j; ++k) {
+            if (is_punct(T[k], "(")) has_paren = true;
+            if (T[k].kind == Tok::kIdent && !is_decl_qualifier(T[k].text))
+              types.push_back(T[k].text);
+          }
+          if (!has_paren && !types.empty() && !cls.member_types.count(member_name))
+            cls.member_types[member_name] = std::move(types);
+          break;
+        }
+      }
+    }
+    if (guard_at < semi && !member_name.empty()) {
+      size_t open = guard_at + 1;
+      if (punct_at(open, "(")) {
+        size_t close = match_forward(T, open, "(", ")");
+        std::string guard;
+        for (size_t j = open + 1; j < close && j < semi; ++j) {
+          if (T[j].kind == Tok::kIdent) guard = T[j].text;
+        }
+        if (!guard.empty()) cls.guards[member_name] = guard;
+      }
+    }
+  }
+
+  // --- function body scan ---------------------------------------------------
+
+  void scan_body(FunctionInfo& F) {
+    size_t b = F.body_begin;
+    size_t e = F.body_end;
+    std::vector<size_t> brace_stack;  // open '{' indices, innermost last
+    brace_stack.push_back(b);
+    // Paren owners for failure-path suppression of alloc sites.
+    std::vector<std::string> paren_owners;
+
+    for (size_t j = b + 1; j < e; ++j) {
+      const Token& t = T[j];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == "{") brace_stack.push_back(j);
+        if (t.text == "}" && brace_stack.size() > 1) brace_stack.pop_back();
+        if (t.text == "(") {
+          paren_owners.push_back(
+              j > 0 && T[j - 1].kind == Tok::kIdent ? T[j - 1].text : "");
+        }
+        if (t.text == ")" && !paren_owners.empty()) paren_owners.pop_back();
+        continue;
+      }
+      if (t.kind != Tok::kIdent) continue;
+
+      // sync::Lock / sync::UniqueLock acquisition.
+      if (t.text == "sync" && punct_at(j + 1, "::") &&
+          (ident_at(j + 2, "Lock") || ident_at(j + 2, "UniqueLock")) &&
+          j + 3 < e && T[j + 3].kind == Tok::kIdent &&
+          (punct_at(j + 4, "(") || punct_at(j + 4, "{"))) {
+        std::string var = T[j + 3].text;
+        const char* open = is_punct(T[j + 4], "(") ? "(" : "{";
+        const char* close = *open == '(' ? ")" : "}";
+        size_t expr_end = match_forward(T, j + 4, open, close);
+        LockSite site;
+        site.tok = j;
+        site.line = t.line;
+        site.via_call = false;
+        for (size_t k = j + 5; k < expr_end; ++k) {
+          if (T[k].kind == Tok::kIdent) site.mutex_expr_last = T[k].text;
+          if (is_punct(T[k], "(")) site.via_call = true;
+          if ((is_punct(T[k], ".") || is_punct(T[k], "->")) &&
+              site.receiver.empty() && k > j + 5 &&
+              T[k - 1].kind == Tok::kIdent) {
+            site.receiver = T[j + 5].kind == Tok::kIdent ? T[j + 5].text : "";
+          }
+        }
+        size_t scope_open = brace_stack.back();
+        site.scope_end = match_forward(T, scope_open, "{", "}");
+        if (site.scope_end > e) site.scope_end = e;
+        // Early release via var.unlock() shortens the scope.
+        for (size_t k = expr_end; k < site.scope_end; ++k) {
+          if (is_ident(T[k], var) && punct_at(k + 1, ".") &&
+              ident_at(k + 2, "unlock")) {
+            site.scope_end = k;
+            break;
+          }
+        }
+        if (!site.mutex_expr_last.empty()) F.locks.push_back(std::move(site));
+        j = expr_end;
+        continue;
+      }
+
+      // DARNET_ASSERT_HELD / DARNET_ASSERT_NOT_HELD.
+      if ((t.text == "DARNET_ASSERT_HELD" ||
+           t.text == "DARNET_ASSERT_NOT_HELD") &&
+          punct_at(j + 1, "(")) {
+        size_t close = match_forward(T, j + 1, "(", ")");
+        AssertHeldSite a;
+        a.not_held = t.text == "DARNET_ASSERT_NOT_HELD";
+        a.tok = j;
+        for (size_t k = j + 2; k < close; ++k) {
+          if (T[k].kind == Tok::kIdent) a.mutex_expr_last = T[k].text;
+          if ((is_punct(T[k], ".") || is_punct(T[k], "->")) &&
+              a.receiver.empty() && T[j + 2].kind == Tok::kIdent) {
+            a.receiver = T[j + 2].text;
+          }
+        }
+        if (!a.mutex_expr_last.empty()) F.asserts.push_back(std::move(a));
+        j = close;
+        continue;
+      }
+
+      // Function-local static named mutex (mutex factories).
+      if (t.text == "sync" && punct_at(j + 1, "::") && ident_at(j + 2, "Mutex") &&
+          j + 3 < e && T[j + 3].kind == Tok::kIdent) {
+        record_free_mutex(j, std::min(e, j + 8), F.name);
+      }
+
+      // Allocation sites.
+      auto suppressed = [&]() {
+        for (const auto& owner : paren_owners) {
+          if (owner.rfind("DARNET_CHECK", 0) == 0 || owner == "DARNET_ASSERT" ||
+              owner.rfind("DARNET_ASSERT_", 0) == 0)
+            return true;
+        }
+        // Failure path: a `throw` earlier in this statement.
+        for (size_t k = j; k-- > b;) {
+          if (T[k].kind == Tok::kPunct &&
+              (T[k].text == ";" || T[k].text == "{" || T[k].text == "}"))
+            break;
+          if (is_ident(T[k], "throw")) return true;
+        }
+        return false;
+      };
+      if (t.text == "new" && !(j > 0 && ident_at(j - 1, "operator")) &&
+          !punct_at(j + 1, "(")) {  // skip `operator new` and placement forms
+        if (!suppressed())
+          F.allocs.push_back(AllocSite{"new expression", j, t.line});
+      }
+      if (t.text == "std" && punct_at(j + 1, "::")) {
+        if (ident_at(j + 2, "vector") && punct_at(j + 3, "<") &&
+            (ident_at(j + 4, "float") || ident_at(j + 4, "double"))) {
+          if (!suppressed())
+            F.allocs.push_back(AllocSite{
+                "std::vector<" + T[j + 4].text + "> construction", j, t.line});
+        } else if (ident_at(j + 2, "string") && j + 3 < e &&
+                   (T[j + 3].kind == Tok::kIdent || punct_at(j + 3, "(") ||
+                    punct_at(j + 3, "{"))) {
+          if (!suppressed())
+            F.allocs.push_back(AllocSite{"std::string construction", j, t.line});
+        } else if (ident_at(j + 2, "to_string")) {
+          if (!suppressed())
+            F.allocs.push_back(AllocSite{"std::to_string", j, t.line});
+        } else if (ident_at(j + 2, "make_unique") ||
+                   ident_at(j + 2, "make_shared")) {
+          if (!suppressed())
+            F.allocs.push_back(
+                AllocSite{"std::" + T[j + 2].text, j, t.line});
+        }
+      }
+
+      // Call sites.
+      if (punct_at(j + 1, "(") && !never_a_call(t.text)) {
+        CallSite c;
+        c.callee = t.text;
+        c.tok = j;
+        c.line = t.line;
+        if (j >= 2 && punct_at(j - 1, "::") && T[j - 2].kind == Tok::kIdent)
+          c.qual = T[j - 2].text;
+        if (j >= 2 && (punct_at(j - 1, ".") || punct_at(j - 1, "->")) &&
+            T[j - 2].kind == Tok::kIdent) {
+          c.receiver = T[j - 2].text;
+          if (j >= 4 && (punct_at(j - 3, ".") || punct_at(j - 3, "->")) &&
+              T[j - 4].kind == Tok::kIdent)
+            c.receiver_owner = T[j - 4].text;
+        }
+        F.calls.push_back(std::move(c));
+      }
+
+      // Simple local declarations: `<type-run> name (= | ; | ( | {)`.
+      if (j + 1 < e &&
+          (punct_at(j + 1, "=") || punct_at(j + 1, ";") ||
+           punct_at(j + 1, "(") || punct_at(j + 1, "{")) &&
+          !F.local_types.count(t.text)) {
+        std::vector<std::string> types;
+        bool ok = true;
+        size_t k = j;
+        while (k-- > b) {
+          const Token& u = T[k];
+          if (u.kind == Tok::kIdent) {
+            if (is_control_keyword(u.text)) {
+              ok = false;
+              break;
+            }
+            if (!is_decl_qualifier(u.text)) types.push_back(u.text);
+            continue;
+          }
+          if (u.kind == Tok::kPunct &&
+              (u.text == "::" || u.text == "<" || u.text == ">" ||
+               u.text == ">>" || u.text == "*" || u.text == "&" ||
+               u.text == "&&" || u.text == ",")) {
+            continue;
+          }
+          // Run boundary: must be a statement boundary to count as a decl.
+          ok = (u.kind == Tok::kPunct &&
+                (u.text == ";" || u.text == "{" || u.text == "}"));
+          break;
+        }
+        if (ok && !types.empty()) {
+          std::reverse(types.begin(), types.end());
+          F.local_types[t.text] = std::move(types);
+        }
+      }
+    }
+  }
+
+  void record_params(FunctionInfo& F, size_t paren) {
+    size_t close = match_forward(T, paren, "(", ")");
+    size_t start = paren + 1;
+    int depth = 0;
+    auto flush = [&](size_t from, size_t to) {
+      std::vector<std::string> idents;
+      for (size_t k = from; k < to; ++k) {
+        if (T[k].kind == Tok::kIdent && !is_decl_qualifier(T[k].text))
+          idents.push_back(T[k].text);
+        if (is_punct(T[k], "=")) break;  // default argument
+      }
+      if (idents.size() >= 2) {
+        std::string name = idents.back();
+        idents.pop_back();
+        F.local_types[name] = std::move(idents);
+      }
+    };
+    for (size_t k = paren + 1; k < close; ++k) {
+      if (T[k].kind == Tok::kPunct) {
+        if (T[k].text == "(" || T[k].text == "<" || T[k].text == "[" ||
+            T[k].text == "{")
+          ++depth;
+        if (T[k].text == ")" || T[k].text == ">" || T[k].text == "]" ||
+            T[k].text == "}")
+          --depth;
+        if (T[k].text == ">>") depth -= 2;
+        if (T[k].text == "," && depth == 0) {
+          flush(start, k);
+          start = k + 1;
+        }
+      }
+    }
+    if (start < close) flush(start, close);
+  }
+
+  // --- scope walk -----------------------------------------------------------
+
+  // Parse declarations in [i, end). `cls` non-empty inside a class body.
+  void parse_scope(size_t i, size_t end, const std::string& cls) {
+    ClassInfo* cinfo = nullptr;
+    if (!cls.empty()) {
+      auto& c = idx.classes[cls];
+      if (c.name.empty()) {
+        c.name = cls;
+        c.file = fx.lex.path;
+      }
+      cinfo = &c;
+    }
+    while (i < end) {
+      const Token& t = T[i];
+      if (t.kind == Tok::kPunct) {
+        if (t.text == ";") {
+          ++i;
+          continue;
+        }
+        if (t.text == "}") {
+          ++i;
+          continue;  // tolerated: stray close (unbalanced input)
+        }
+        if (t.text == "[") {
+          size_t i2 = skip_attributes(i);
+          if (i2 != i) {
+            i = i2;
+            continue;
+          }
+        }
+        // Anything else punct-initial at scope level: skip a statement.
+        size_t next = skip_statement(i, end);
+        i = next > i ? next : i + 1;  // always make progress
+        continue;
+      }
+      if (t.kind != Tok::kIdent) {
+        i = skip_statement(i, end);
+        continue;
+      }
+      // Access specifiers inside a class.
+      if (cinfo && (t.text == "public" || t.text == "private" ||
+                    t.text == "protected") &&
+          punct_at(i + 1, ":")) {
+        i += 2;
+        continue;
+      }
+      if (t.text == "namespace") {
+        size_t j = i + 1;
+        while (j < end &&
+               (T[j].kind == Tok::kIdent || is_punct(T[j], "::")))
+          ++j;
+        if (punct_at(j, "{")) {
+          size_t close = match_forward(T, j, "{", "}");
+          parse_scope(j + 1, std::min(close, end), "");
+          i = close + 1;
+        } else {
+          i = skip_statement(i, end);
+        }
+        continue;
+      }
+      if (t.text == "using" || t.text == "typedef" ||
+          t.text == "static_assert") {
+        if (!cinfo) {
+          i = skip_statement(i, end);
+          continue;
+        }
+        // fallthrough for class scope: extract_member ignores these anyway
+      }
+      if (t.text == "enum") {
+        i = skip_statement(i, end);
+        continue;
+      }
+      if ((t.text == "class" || t.text == "struct" || t.text == "union") &&
+          !(i > 0 && (is_punct(T[i - 1], "<") || is_punct(T[i - 1], ",")))) {
+        // Find the head: up to '{' (definition) or ';' (fwd decl) at depth 0.
+        size_t j = i + 1;
+        int depth = 0;
+        size_t body = end, semi = end, colon = end;
+        while (j < end) {
+          const Token& u = T[j];
+          if (u.kind == Tok::kPunct) {
+            if (u.text == "(" || u.text == "<" || u.text == "[") ++depth;
+            if (u.text == ")" || u.text == ">" || u.text == "]") --depth;
+            if (depth == 0 && u.text == ":" && colon == end) colon = j;
+            if (depth == 0 && u.text == "{") {
+              body = j;
+              break;
+            }
+            if (depth == 0 && (u.text == ";" || u.text == "=")) {
+              semi = j;
+              break;
+            }
+          }
+          ++j;
+        }
+        if (body == end) {
+          i = (semi == end) ? end : semi + 1;
+          continue;
+        }
+        // Class name: last plain ident before the base-clause ':' (or '{').
+        size_t stop = std::min(colon, body);
+        std::string name;
+        for (size_t k = stop; k-- > i + 1;) {
+          if (T[k].kind == Tok::kIdent && T[k].text != "final" &&
+              T[k].text != "alignas") {
+            name = T[k].text;
+            break;
+          }
+        }
+        size_t close = match_forward(T, body, "{", "}");
+        if (!name.empty()) {
+          parse_scope(body + 1, std::min(close, end), name);
+        }
+        i = close + 1;
+        continue;
+      }
+      if (t.text == "extern" && i + 1 < end &&
+          T[i + 1].kind == Tok::kString && punct_at(i + 2, "{")) {
+        size_t close = match_forward(T, i + 2, "{", "}");
+        parse_scope(i + 3, std::min(close, end), cls);
+        i = close + 1;
+        continue;
+      }
+
+      DefMatch m;
+      if (detect_function(i, end, m)) {
+        FunctionInfo F;
+        F.name = m.name;
+        F.klass = !cls.empty() ? cls : m.klass_from_qual;
+        F.ctor_dtor = m.ctor_dtor || (!cls.empty() && m.name == cls);
+        F.file = fx.lex.path;
+        F.file_id = file_id;
+        F.line = T[m.chain_begin].line;
+        F.body_begin = m.body_open;
+        F.body_end = match_forward(T, m.body_open, "{", "}");
+        for (size_t k = i; k < m.chain_begin; ++k) {
+          if (T[k].kind == Tok::kIdent) F.return_type.push_back(T[k].text);
+        }
+        record_params(F, m.paren);
+        scan_body(F);
+        size_t resume = F.body_end + 1;
+        fx.functions.push_back(std::move(F));
+        i = resume;
+        continue;
+      }
+
+      // Plain declaration statement.
+      size_t next = skip_statement(i, end);
+      if (cinfo) {
+        extract_member(i, next > i ? next - 1 : i, *cinfo);
+      } else {
+        record_free_mutex(i, next, "");
+        record_global_types(i, next > i ? next - 1 : i);
+      }
+      i = next > i ? next : i + 1;  // always make progress
+    }
+  }
+};
+
+}  // namespace
+
+void index_file(Index& idx, LexedFile lexed) {
+  int file_id = static_cast<int>(idx.files.size());
+  idx.files.push_back(FileIndex{std::move(lexed), {}});
+  FileIndex& fx = idx.files.back();
+  Indexer ix{idx, fx, fx.lex.tokens, file_id};
+  ix.parse_scope(0, fx.lex.tokens.size(), "");
+  for (size_t f = 0; f < fx.functions.size(); ++f) {
+    idx.by_name[fx.functions[f].name].push_back(
+        {file_id, static_cast<int>(f)});
+  }
+}
+
+}  // namespace darnet::analyze

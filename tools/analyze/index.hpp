@@ -1,0 +1,135 @@
+// darnet_analyze symbol index: a per-TU, cross-file-mergeable model of the
+// repo extracted from the token stream. Approximate by design — it resolves
+// names, not types — but precise enough for the semantic rules:
+//
+//  - classes (including out-of-line nested definitions `struct A::B { ... }`)
+//    with their sync::Mutex members (and the compile-time name literal from
+//    `sync::Mutex mu_{"serve/admission"};`), DARNET_GUARDED_BY members, and
+//    the declared types of data members (for receiver resolution);
+//  - function definitions with body token ranges, lock-acquisition sites
+//    (sync::Lock / sync::UniqueLock) with their lexical scope extents,
+//    DARNET_ASSERT_HELD sites, call sites (with receiver + qualifier),
+//    allocation sites, and local/parameter declared types;
+//  - namespace-scope and function-local-static named mutexes (e.g. the
+//    `static sync::Mutex mu{"obs/trace"};` inside a mutex-factory function).
+//
+// Everything is keyed by unqualified names; consumers decide how strictly to
+// resolve (see rules.cpp).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.hpp"
+
+namespace darnet::analyze {
+
+// A sync::Lock / sync::UniqueLock acquisition site inside a function body.
+struct LockSite {
+  std::string mutex_expr_last;  // last identifier of the mutex expression
+  std::string receiver;         // first identifier if expr is x.m / p->m, else ""
+  bool via_call;                // mutex expression is a call, e.g. trace_mu()
+  size_t tok;                   // token index of the `sync` keyword
+  size_t scope_end;             // token index of the closing '}' of the scope
+                                // (or of `var.unlock()` if earlier)
+  int line;
+};
+
+struct AssertHeldSite {
+  std::string mutex_expr_last;
+  std::string receiver;
+  bool not_held;  // DARNET_ASSERT_NOT_HELD
+  size_t tok;
+};
+
+struct CallSite {
+  std::string callee;    // unqualified name
+  std::string qual;      // immediately-preceding qualifier ident, "" if none
+  std::string receiver;  // x in x.f() / p->f(), "" if none
+  std::string receiver_owner;  // r in r.x.f() / r->x.f(), "" if not chained
+  size_t tok;            // token index of the callee identifier
+  int line;
+};
+
+struct AllocSite {
+  std::string what;  // human label, e.g. "new expression", "std::string"
+  size_t tok;
+  int line;
+};
+
+struct FunctionInfo {
+  std::string name;   // unqualified
+  std::string klass;  // owning class name, "" for free functions
+  std::string file;
+  int line = 0;
+  int file_id = -1;  // index into Index::files
+  bool ctor_dtor = false;
+  size_t body_begin = 0;  // token index of '{'
+  size_t body_end = 0;    // token index of matching '}'
+  std::vector<std::string> return_type;  // identifier tokens of the return type
+  std::vector<LockSite> locks;
+  std::vector<AssertHeldSite> asserts;
+  std::vector<CallSite> calls;
+  std::vector<AllocSite> allocs;
+  // Declared identifier types of params and simple locals: var -> type idents.
+  std::map<std::string, std::vector<std::string>> local_types;
+};
+
+struct ClassInfo {
+  std::string name;  // unqualified
+  // mutex member -> compile-time name literal ("" if none seen).
+  std::map<std::string, std::string> mutex_names;
+  // guarded member -> guard mutex expression's last identifier.
+  std::map<std::string, std::string> guards;
+  // data member -> declared type idents (for receiver resolution).
+  std::map<std::string, std::vector<std::string>> member_types;
+  std::string file;  // file of first definition seen
+  int line = 0;
+};
+
+// A named mutex declared outside class scope (namespace scope or a
+// function-local static), e.g. `sync::Mutex g_pool_mu{"parallel/global_pool"}`.
+struct FreeMutex {
+  std::string var;
+  std::string name_literal;
+  // If declared inside a function body, the enclosing function's name — this
+  // resolves mutex-factory calls like `sync::Lock lock(trace_mu());`.
+  std::string enclosing_function;
+  std::string file;
+  int line = 0;
+};
+
+struct FileIndex {
+  LexedFile lex;
+  std::vector<FunctionInfo> functions;
+};
+
+struct Index {
+  std::vector<FileIndex> files;
+  // Classes merged across files by unqualified name.
+  std::map<std::string, ClassInfo> classes;
+  std::vector<FreeMutex> free_mutexes;
+  // Namespace-scope variable declarations: var -> declared type idents.
+  std::map<std::string, std::vector<std::string>> global_types;
+  // Function name -> (file_id, function index) pairs, for call resolution.
+  std::map<std::string, std::vector<std::pair<int, int>>> by_name;
+
+  const FunctionInfo& fn(std::pair<int, int> id) const {
+    return files[static_cast<size_t>(id.first)]
+        .functions[static_cast<size_t>(id.second)];
+  }
+};
+
+// Index one lexed file into `idx` (appends to idx.files and merges classes).
+void index_file(Index& idx, LexedFile lexed);
+
+// Convenience: find the matching close for tokens[open] ('{','(','[' style),
+// returning tokens.size() if unbalanced. `open_text`/`close_text` are single
+// punctuators.
+size_t match_forward(const std::vector<Token>& toks, size_t open,
+                     std::string_view open_text, std::string_view close_text);
+
+}  // namespace darnet::analyze

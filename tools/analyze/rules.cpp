@@ -1,0 +1,667 @@
+#include "tools/analyze/rules.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace darnet::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+using FnId = std::pair<int, int>;
+
+bool under_any(const std::string& file, const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (file.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+// The documented lock hierarchy (DESIGN.md §10): acquisition must follow
+// ascending rank. Names are the compile-time mutex name literals.
+const std::map<std::string, int>& hierarchy_ranks() {
+  static const std::map<std::string, int> ranks = {
+      {"serve/admission", 0}, {"serve/exec", 1}, {"serve/apply", 2},
+      {"parallel/pool_submit", 10}, {"parallel/pool", 11},
+  };
+  return ranks;
+}
+
+// Mutexes documented as leaves: no lock may be acquired while holding them.
+const std::set<std::string>& declared_leaves() {
+  static const std::set<std::string> leaves = {"obs/registry", "obs/trace"};
+  return leaves;
+}
+
+// hot-path-alloc-transitive exemption registry. Entries match either a
+// "Class::function" / "function" symbol or a file-path prefix (trailing '/').
+// Every entry carries the reviewed reason it is allowed to allocate while
+// reachable from the hot path.
+struct HotPathExempt {
+  std::string_view match;  // symbol or path prefix
+  std::string_view reason;
+};
+constexpr HotPathExempt kHotPathAllocExempt[] = {
+    {"src/sync/",
+     "checked-build instrumentation only; release builds alias bare std "
+     "primitives with no graph bookkeeping"},
+    {"src/check/",
+     "DARNET_CHECKED diagnostics; compiled to unevaluated no-ops when off"},
+    {"Sequential::verify_boundary",
+     "entire function is #ifdef DARNET_CHECKED contract diagnostics; absent "
+     "from release builds"},
+};
+
+struct Resolver {
+  const Index& idx;
+
+  const ClassInfo* klass(const std::string& name) const {
+    auto it = idx.classes.find(name);
+    return it == idx.classes.end() ? nullptr : &it->second;
+  }
+
+  // Declared type idents of `recv` inside F: a local/param, a member of F's
+  // class, or — when `owner` is set (chained access r.x.f()) — a member `x`
+  // of owner `r`'s class. nullptr when the declaration isn't visible to us.
+  const std::vector<std::string>* receiver_types(
+      const FunctionInfo& F, const std::string& recv,
+      const std::string& owner) const {
+    if (!owner.empty()) {
+      for (const auto& cl : receiver_classes(F, owner, "")) {
+        const ClassInfo* c = klass(cl);
+        if (!c) continue;
+        auto mt = c->member_types.find(recv);
+        if (mt != c->member_types.end()) return &mt->second;
+      }
+      return nullptr;
+    }
+    auto lt = F.local_types.find(recv);
+    if (lt != F.local_types.end()) return &lt->second;
+    if (const ClassInfo* c = klass(F.klass)) {
+      auto mt = c->member_types.find(recv);
+      if (mt != c->member_types.end()) return &mt->second;
+    }
+    auto gt = idx.global_types.find(recv);
+    if (gt != idx.global_types.end()) return &gt->second;
+    return nullptr;
+  }
+
+  // Resolve a receiver identifier inside F to a set of candidate class names.
+  std::vector<std::string> receiver_classes(const FunctionInfo& F,
+                                            const std::string& recv,
+                                            const std::string& owner = "") const {
+    std::vector<std::string> out;
+    if (recv.empty()) return out;
+    if (recv == "this") {
+      if (!F.klass.empty()) out.push_back(F.klass);
+      return out;
+    }
+    const std::vector<std::string>* types = receiver_types(F, recv, owner);
+    if (!types) return out;
+    // Any identifier in the declared type that names an indexed class counts:
+    // this is what strips smart-pointer wrappers (unique_ptr<Impl> -> Impl).
+    for (const auto& t : *types) {
+      if (idx.classes.count(t)) out.push_back(t);
+    }
+    return out;
+  }
+
+  // Strictly resolve a call site to in-tree function candidates. Receiver'd
+  // calls resolve only through a known receiver class; unqualified calls see
+  // same-class methods and free functions.
+  std::vector<FnId> strict(const FunctionInfo& F, const CallSite& c) const {
+    std::vector<FnId> out;
+    auto it = idx.by_name.find(c.callee);
+    if (it == idx.by_name.end()) return out;
+    if (!c.receiver.empty()) {
+      auto classes = receiver_classes(F, c.receiver, c.receiver_owner);
+      for (FnId id : it->second) {
+        const FunctionInfo& g = idx.fn(id);
+        for (const auto& cl : classes) {
+          if (g.klass == cl) {
+            out.push_back(id);
+            break;
+          }
+        }
+      }
+      return out;
+    }
+    if (!c.qual.empty()) {
+      for (FnId id : it->second) {
+        const FunctionInfo& g = idx.fn(id);
+        if (g.klass == c.qual || g.klass.empty()) out.push_back(id);
+      }
+      return out;
+    }
+    for (FnId id : it->second) {
+      const FunctionInfo& g = idx.fn(id);
+      if (g.klass.empty() || g.klass == F.klass) out.push_back(id);
+    }
+    return out;
+  }
+
+  // True if we know the receiver's declared type but it names no indexed
+  // class — i.e. a std/foreign type whose methods are never in-tree.
+  bool receiver_is_foreign(const FunctionInfo& F, const std::string& recv,
+                           const std::string& owner) const {
+    if (recv.empty() || recv == "this") return false;
+    const std::vector<std::string>* types = receiver_types(F, recv, owner);
+    if (!types) return false;  // unknown: can't rule anything out
+    for (const auto& t : *types) {
+      if (idx.classes.count(t)) return false;
+    }
+    return true;
+  }
+
+  // Loose resolution for reachability: strict first, falling back to every
+  // in-tree function with the name (over-approximation for virtual dispatch
+  // through receivers whose static type we can't resolve). No fallback when
+  // the receiver is known to be a foreign type (`stop_.load()` on a
+  // std::atomic must not resolve to an in-tree `load`).
+  std::vector<FnId> loose(const FunctionInfo& F, const CallSite& c) const {
+    std::vector<FnId> out = strict(F, c);
+    if (!out.empty()) return out;
+    if (receiver_is_foreign(F, c.receiver, c.receiver_owner)) return out;
+    auto it = idx.by_name.find(c.callee);
+    if (it == idx.by_name.end()) return out;
+    return it->second;
+  }
+
+  // Resolve a lock/assert site's mutex expression to the compile-time mutex
+  // name literal. Empty when unresolvable.
+  std::string mutex_name(const FunctionInfo& F, const std::string& last,
+                         const std::string& recv, bool via_call) const {
+    // Receiver-qualified member mutex: region.error_mu, impl_->mu.
+    if (!recv.empty()) {
+      for (const auto& cl : receiver_classes(F, recv)) {
+        const ClassInfo* c = klass(cl);
+        if (!c) continue;
+        auto it = c->mutex_names.find(last);
+        if (it != c->mutex_names.end())
+          return it->second.empty() ? cl + "::" + last : it->second;
+      }
+    }
+    // Member of the enclosing class.
+    if (const ClassInfo* c = klass(F.klass)) {
+      auto it = c->mutex_names.find(last);
+      if (it != c->mutex_names.end())
+        return it->second.empty() ? F.klass + "::" + last : it->second;
+    }
+    // Namespace-scope / local-static mutex by variable name.
+    for (const auto& fm : idx.free_mutexes) {
+      if (fm.var == last && fm.enclosing_function.empty())
+        return fm.name_literal.empty() ? last : fm.name_literal;
+    }
+    // Mutex-factory call: sync::Lock lock(trace_mu());
+    if (via_call) {
+      for (const auto& fm : idx.free_mutexes) {
+        if (fm.enclosing_function == last)
+          return fm.name_literal.empty() ? last : fm.name_literal;
+      }
+    }
+    // Local mutex declared in this function.
+    for (const auto& fm : idx.free_mutexes) {
+      if (fm.var == last && fm.enclosing_function == F.name)
+        return fm.name_literal.empty() ? last : fm.name_literal;
+    }
+    return "";
+  }
+};
+
+std::string symbol_of(const FunctionInfo& F) {
+  return F.klass.empty() ? F.name : F.klass + "::" + F.name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule 1: static lock-order extraction.
+// ---------------------------------------------------------------------------
+
+void rule_lock_order(const Index& idx, const AnalysisOptions& opts,
+                     std::vector<LockEdge>& edges,
+                     std::vector<Finding>& findings) {
+  Resolver R{idx};
+
+  // acquires*(f): every mutex name f may acquire, directly or via (strictly
+  // resolved) callees. Memoized; cycles in the call graph terminate because
+  // in-progress nodes return their partial (possibly empty) set.
+  std::map<FnId, std::set<std::string>> memo;
+  std::set<FnId> in_progress;
+  std::function<const std::set<std::string>&(FnId)> acquires =
+      [&](FnId id) -> const std::set<std::string>& {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    auto& slot = memo[id];
+    if (!in_progress.insert(id).second) return slot;
+    const FunctionInfo& F = idx.fn(id);
+    for (const auto& l : F.locks) {
+      std::string name = R.mutex_name(F, l.mutex_expr_last, l.receiver, l.via_call);
+      if (!name.empty()) slot.insert(name);
+    }
+    for (const auto& c : F.calls) {
+      for (FnId g : R.strict(F, c)) {
+        if (g == id) continue;
+        const auto& sub = acquires(g);
+        slot.insert(sub.begin(), sub.end());
+      }
+    }
+    in_progress.erase(id);
+    return slot;
+  };
+
+  std::map<std::pair<std::string, std::string>, size_t> seen;  // -> edge idx
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, int line, const std::string& via) {
+    auto key = std::make_pair(from, to);
+    if (seen.count(key)) return;
+    seen[key] = edges.size();
+    edges.push_back(LockEdge{from, to, file, line, via});
+  };
+
+  for (size_t fi = 0; fi < idx.files.size(); ++fi) {
+    const FileIndex& fx = idx.files[fi];
+    if (!under_any(fx.lex.path, opts.rule_prefixes)) continue;
+    for (size_t gi = 0; gi < fx.functions.size(); ++gi) {
+      const FunctionInfo& F = fx.functions[gi];
+      for (const auto& outer : F.locks) {
+        std::string from =
+            R.mutex_name(F, outer.mutex_expr_last, outer.receiver, outer.via_call);
+        if (from.empty()) continue;
+        // Directly nested acquisitions.
+        for (const auto& inner : F.locks) {
+          if (inner.tok <= outer.tok || inner.tok >= outer.scope_end) continue;
+          std::string to =
+              R.mutex_name(F, inner.mutex_expr_last, inner.receiver, inner.via_call);
+          if (!to.empty()) add_edge(from, to, F.file, inner.line, symbol_of(F));
+        }
+        // Acquisitions reached through calls made under the lock.
+        for (const auto& c : F.calls) {
+          if (c.tok <= outer.tok || c.tok >= outer.scope_end) continue;
+          for (FnId g : R.strict(F, c)) {
+            for (const auto& to : acquires(g)) {
+              add_edge(from, to, F.file, c.line,
+                       symbol_of(F) + " -> " + symbol_of(idx.fn(g)));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // (a) Self edges (same mutex re-acquired under itself).
+  for (const auto& e : edges) {
+    if (e.from == e.to) {
+      findings.push_back(Finding{
+          "lock-order", e.file, e.line, e.from,
+          "mutex '" + e.from + "' may be acquired while already held (via " +
+              e.via + ")"});
+    }
+  }
+
+  // (b) Documented-hierarchy violations.
+  const auto& ranks = hierarchy_ranks();
+  for (const auto& e : edges) {
+    auto rf = ranks.find(e.from);
+    auto rt = ranks.find(e.to);
+    if (rf != ranks.end() && rt != ranks.end() && rf->second > rt->second &&
+        rf->second / 10 == rt->second / 10) {
+      findings.push_back(Finding{
+          "lock-order", e.file, e.line, e.from + " -> " + e.to,
+          "acquiring '" + e.to + "' while holding '" + e.from +
+              "' contradicts the documented hierarchy (DESIGN.md §10: " +
+              e.to + " must be taken before " + e.from + "); via " + e.via});
+    }
+  }
+
+  // (c) Declared leaves must have no outgoing edges.
+  for (const auto& e : edges) {
+    if (e.from == e.to) continue;
+    if (declared_leaves().count(e.from)) {
+      findings.push_back(Finding{
+          "lock-order", e.file, e.line, e.from + " -> " + e.to,
+          "'" + e.from + "' is documented as a leaf lock but '" + e.to +
+              "' is acquired while it is held; via " + e.via});
+    }
+  }
+
+  // (d) Cycles (beyond self edges) in the full static graph.
+  std::map<std::string, std::vector<size_t>> adj;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].from != edges[i].to) adj[edges[i].from].push_back(i);
+  }
+  std::set<std::string> done;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  bool reported = false;
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    if (reported || done.count(n)) return;
+    on_path.insert(n);
+    path.push_back(n);
+    for (size_t ei : adj[n]) {
+      const auto& e = edges[ei];
+      if (on_path.count(e.to)) {
+        std::ostringstream cyc;
+        for (auto it = std::find(path.begin(), path.end(), e.to);
+             it != path.end(); ++it)
+          cyc << *it << " -> ";
+        cyc << e.to;
+        findings.push_back(Finding{
+            "lock-order", e.file, e.line, "cycle",
+            "static lock-order cycle: " + cyc.str() + " (closing edge via " +
+                e.via + ")"});
+        reported = true;
+        break;
+      }
+      dfs(e.to);
+    }
+    path.pop_back();
+    on_path.erase(n);
+    done.insert(n);
+  };
+  for (const auto& [n, _] : adj) dfs(n);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: guarded-by access checking.
+// ---------------------------------------------------------------------------
+
+void rule_guarded_by(const Index& idx, const AnalysisOptions& opts,
+                     std::vector<Finding>& findings) {
+  Resolver R{idx};
+  // guarded member name -> owning classes (name collisions across classes are
+  // disambiguated through the receiver / enclosing class below).
+  std::map<std::string, std::vector<const ClassInfo*>> guarded;
+  for (const auto& [name, c] : idx.classes) {
+    for (const auto& [member, guard] : c.guards) {
+      (void)guard;
+      guarded[member].push_back(&c);
+    }
+  }
+  if (guarded.empty()) return;
+
+  for (const auto& fx : idx.files) {
+    if (!under_any(fx.lex.path, opts.rule_prefixes)) continue;
+    const auto& T = fx.lex.tokens;
+    for (const auto& F : fx.functions) {
+      if (F.ctor_dtor) continue;  // exclusive access during construction
+      for (size_t j = F.body_begin + 1; j < F.body_end; ++j) {
+        if (T[j].kind != Tok::kIdent) continue;
+        auto git = guarded.find(T[j].text);
+        if (git == guarded.end()) continue;
+        if (j + 1 < T.size() && is_punct(T[j + 1], "(")) continue;  // a call
+        if (j > 0 && is_punct(T[j - 1], "::")) continue;  // qualified name
+        bool via_receiver =
+            j >= 2 && (is_punct(T[j - 1], ".") || is_punct(T[j - 1], "->")) &&
+            T[j - 2].kind == Tok::kIdent;
+        std::string recv = via_receiver ? T[j - 2].text : "";
+        if (!via_receiver && (is_punct(T[j - 1], ".") || is_punct(T[j - 1], "->")))
+          continue;  // receiver is an expression we can't resolve
+        // Which owning class does this access refer to?
+        const ClassInfo* owner = nullptr;
+        if (via_receiver && recv != "this") {
+          for (const auto& cl : R.receiver_classes(F, recv)) {
+            for (const ClassInfo* c : git->second) {
+              if (c->name == cl) owner = c;
+            }
+          }
+        } else {
+          // Bare member (or this->member) of the enclosing class — unless a
+          // local declaration shadows the name.
+          if (!via_receiver && F.local_types.count(T[j].text)) continue;
+          for (const ClassInfo* c : git->second) {
+            if (c->name == F.klass) owner = c;
+          }
+        }
+        if (!owner) continue;  // unresolvable or different class: skip
+        const std::string& guard = owner->guards.at(T[j].text);
+        bool held = false;
+        for (const auto& l : F.locks) {
+          if (l.mutex_expr_last == guard && l.tok < j && j < l.scope_end) {
+            held = true;
+            break;
+          }
+        }
+        if (!held) {
+          for (const auto& a : F.asserts) {
+            if (!a.not_held && a.mutex_expr_last == guard && a.tok < j) {
+              held = true;
+              break;
+            }
+          }
+        }
+        if (!held) {
+          findings.push_back(Finding{
+              "guarded-by", F.file, T[j].line,
+              owner->name + "::" + T[j].text,
+              "access to '" + owner->name + "::" + T[j].text +
+                  "' (DARNET_GUARDED_BY(" + guard + ")) in " + symbol_of(F) +
+                  " with no live sync::Lock on '" + guard +
+                  "' and no dominating DARNET_ASSERT_HELD"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: transitive hot-path allocation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool hot_path_exempt(const FunctionInfo& F, std::string* reason) {
+  std::string sym = symbol_of(F);
+  for (const auto& e : kHotPathAllocExempt) {
+    std::string m(e.match);
+    bool hit = (!m.empty() && m.back() == '/') ? F.file.rfind(m, 0) == 0
+                                               : (sym == m || F.name == m);
+    if (hit) {
+      if (reason) *reason = std::string(e.reason);
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::set<std::string>& growth_calls() {
+  static const std::set<std::string> g = {"push_back", "emplace_back",
+                                          "resize", "insert", "emplace",
+                                          "append"};
+  return g;
+}
+
+}  // namespace
+
+void rule_hot_path_alloc(const Index& idx, const AnalysisOptions& opts,
+                         std::vector<Finding>& findings) {
+  Resolver R{idx};
+  static const std::set<std::string> kRoots = {
+      "classify_batch", "classify_batch_degraded", "worker_loop",
+      "execute_batch"};
+
+  // BFS from the roots over the loosely-resolved call graph, restricted to
+  // src/ and stopping at exempt functions/subsystems.
+  std::map<FnId, std::pair<FnId, std::string>> parent;  // node -> (pred, root)
+  std::deque<FnId> queue;
+  for (const auto& [name, ids] : idx.by_name) {
+    if (!kRoots.count(name)) continue;
+    for (FnId id : ids) {
+      const FunctionInfo& F = idx.fn(id);
+      if (!under_any(F.file, opts.rule_prefixes)) continue;
+      if (!parent.count(id)) {
+        parent[id] = {id, symbol_of(F)};
+        queue.push_back(id);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    FnId id = queue.front();
+    queue.pop_front();
+    const FunctionInfo& F = idx.fn(id);
+    if (hot_path_exempt(F, nullptr)) continue;  // don't look inside
+    for (const auto& c : F.calls) {
+      for (FnId g : R.loose(F, c)) {
+        const FunctionInfo& G = idx.fn(g);
+        if (!under_any(G.file, opts.rule_prefixes)) continue;
+        if (parent.count(g)) continue;
+        parent[g] = {id, parent[id].second};
+        queue.push_back(g);
+      }
+    }
+  }
+
+  auto path_to = [&](FnId id) {
+    std::vector<std::string> rev;
+    FnId cur = id;
+    while (true) {
+      rev.push_back(symbol_of(idx.fn(cur)));
+      FnId p = parent[cur].first;
+      if (p == cur) break;
+      cur = p;
+    }
+    std::ostringstream os;
+    for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+      if (it != rev.rbegin()) os << " -> ";
+      os << *it;
+    }
+    return os.str();
+  };
+
+  for (const auto& [id, link] : parent) {
+    const FunctionInfo& F = idx.fn(id);
+    if (hot_path_exempt(F, nullptr)) continue;
+    for (const auto& a : F.allocs) {
+      findings.push_back(Finding{
+          "hot-path-alloc-transitive", F.file, a.line, symbol_of(F),
+          a.what + " reachable from the inference hot path: " + path_to(id)});
+    }
+    for (const auto& c : F.calls) {
+      if (!growth_calls().count(c.callee)) continue;
+      // In-tree functions with these names (e.g. a ring buffer's own
+      // emplace) are traversed by the BFS instead of flagged here.
+      if (!R.loose(F, c).empty()) continue;
+      findings.push_back(Finding{
+          "hot-path-alloc-transitive", F.file, c.line, symbol_of(F),
+          "container growth ('" + c.callee +
+              "') reachable from the inference hot path: " + path_to(id)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: unchecked Admit/Status return values.
+// ---------------------------------------------------------------------------
+
+void rule_unchecked_status(const Index& idx, const AnalysisOptions& opts,
+                           std::vector<Finding>& findings) {
+  Resolver R{idx};
+  // In-tree functions whose return type mentions Admit or Status.
+  std::set<std::string> status_names;
+  for (const auto& fx : idx.files) {
+    for (const auto& F : fx.functions) {
+      for (const auto& t : F.return_type) {
+        if (t == "Admit" || t == "Status") {
+          status_names.insert(F.name);
+          break;
+        }
+      }
+    }
+  }
+  if (status_names.empty()) return;
+
+  for (const auto& fx : idx.files) {
+    if (!under_any(fx.lex.path, opts.status_rule_prefixes)) continue;
+    const auto& T = fx.lex.tokens;
+    for (const auto& F : fx.functions) {
+      for (const auto& c : F.calls) {
+        if (!status_names.count(c.callee)) continue;
+        bool returns_status = false;
+        for (FnId g : R.loose(F, c)) {
+          for (const auto& t : idx.fn(g).return_type) {
+            if (t == "Admit" || t == "Status") returns_status = true;
+          }
+        }
+        if (!returns_status) continue;
+        // Walk back over the call chain (receiver/qualifier) to its head.
+        size_t head = c.tok;
+        while (head >= 2 &&
+               (is_punct(T[head - 1], ".") || is_punct(T[head - 1], "->") ||
+                is_punct(T[head - 1], "::")) &&
+               T[head - 2].kind == Tok::kIdent) {
+          head -= 2;
+        }
+        if (head == 0) continue;
+        const Token& before = T[head - 1];
+        bool statement_start =
+            before.kind == Tok::kPunct &&
+            (before.text == ";" || before.text == "{" || before.text == "}");
+        if (!statement_start) continue;
+        size_t close = match_forward(T, c.tok + 1, "(", ")");
+        if (close + 1 >= T.size() || !is_punct(T[close + 1], ";")) continue;
+        findings.push_back(Finding{
+            "unchecked-status", F.file, T[c.tok].line, c.callee,
+            "return value of '" + c.callee +
+                "' (Admit/Status) is discarded; check it or cast to void "
+                "explicitly"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+AnalysisResult analyze_tree(const fs::path& root, const AnalysisOptions& opts) {
+  AnalysisResult res;
+  Index idx;
+  std::vector<fs::path> files;
+  for (const auto& dir : opts.index_dirs) {
+    fs::path d = root / dir;
+    if (!fs::exists(d)) continue;
+    for (const auto& ent : fs::recursive_directory_iterator(d)) {
+      if (!ent.is_regular_file()) continue;
+      auto ext = ent.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc")
+        continue;
+      files.push_back(ent.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& p : files) {
+    std::string rel = fs::relative(p, root).generic_string();
+    if (under_any(rel, opts.skip_prefixes)) continue;
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    index_file(idx, lex(ss.str(), rel));
+  }
+  res.files_indexed = static_cast<int>(idx.files.size());
+  for (const auto& fx : idx.files)
+    res.functions_indexed += static_cast<int>(fx.functions.size());
+
+  rule_lock_order(idx, opts, res.lock_edges, res.findings);
+  rule_guarded_by(idx, opts, res.findings);
+  rule_hot_path_alloc(idx, opts, res.findings);
+  rule_unchecked_status(idx, opts, res.findings);
+
+  // Dedupe (e.g. two accesses of the same guarded member in one statement).
+  sort_findings(res.findings);
+  res.findings.erase(
+      std::unique(res.findings.begin(), res.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.rule == b.rule && a.file == b.file &&
+                           a.line == b.line && a.symbol == b.symbol &&
+                           a.message == b.message;
+                  }),
+      res.findings.end());
+  return res;
+}
+
+}  // namespace darnet::analyze

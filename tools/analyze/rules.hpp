@@ -1,0 +1,74 @@
+// darnet_analyze semantic rules over the symbol index.
+//
+// Rule catalogue (names are stable; fixture dirs and baseline entries key on
+// them — see docs/STATIC_ANALYSIS.md):
+//   lock-order                static mutex acquisition-order extraction;
+//                             flags cycles, edges against the documented
+//                             hierarchy, and edges out of declared leaves.
+//   guarded-by                access to a DARNET_GUARDED_BY(mu) member with
+//                             no live sync::Lock on mu and no dominating
+//                             DARNET_ASSERT_HELD(mu).
+//   hot-path-alloc-transitive call-graph reachability from the inference hot
+//                             path roots to an allocating construct not in
+//                             the exemption registry.
+//   unchecked-status          a call to an in-tree Admit/Status-returning
+//                             function used as a bare discarded statement.
+//   stale-baseline            (from report.cpp) suppression matching nothing.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/index.hpp"
+#include "tools/analyze/report.hpp"
+
+namespace darnet::analyze {
+
+// One edge of the static lock-order graph: while holding `from`, `to` was
+// (possibly transitively, through calls) acquired.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;  // site of the inner acquisition or the mediating call
+  int line = 0;
+  std::string via;   // function whose body holds the outer lock
+};
+
+struct AnalysisOptions {
+  // Directories under the root to lex+index (repo-relative).
+  std::vector<std::string> index_dirs = {"src", "tools", "examples"};
+  // Path prefixes to skip entirely (deliberately-broken fixture trees).
+  std::vector<std::string> skip_prefixes = {"tests/lint_fixtures/",
+                                            "tests/analyze_fixtures/"};
+  // Semantic rules run only on files under these prefixes. Tests and bench
+  // stay out of scope: test_sync contains deliberate lock inversions (death
+  // tests) and gtest macros defeat the approximate parser.
+  std::vector<std::string> rule_prefixes = {"src/"};
+  // unchecked-status additionally covers examples/ (the public API surface).
+  std::vector<std::string> status_rule_prefixes = {"src/", "examples/"};
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::vector<LockEdge> lock_edges;  // full static lock-order graph
+  int files_indexed = 0;
+  int functions_indexed = 0;
+};
+
+// Lex + index + run every rule over the repo at `root`.
+AnalysisResult analyze_tree(const std::filesystem::path& root,
+                            const AnalysisOptions& opts = {});
+
+// Individual rule entry points (exposed for tests).
+void rule_lock_order(const Index& idx, const AnalysisOptions& opts,
+                     std::vector<LockEdge>& edges,
+                     std::vector<Finding>& findings);
+void rule_guarded_by(const Index& idx, const AnalysisOptions& opts,
+                     std::vector<Finding>& findings);
+void rule_hot_path_alloc(const Index& idx, const AnalysisOptions& opts,
+                         std::vector<Finding>& findings);
+void rule_unchecked_status(const Index& idx, const AnalysisOptions& opts,
+                           std::vector<Finding>& findings);
+
+}  // namespace darnet::analyze

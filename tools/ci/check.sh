@@ -24,6 +24,15 @@
 #            suites (test_sync, test_serve, test_parallel) and repeating
 #            them until-fail:2 -- the lock-order graph, held-lock stack
 #            and CV watchdog run under tsan at the same time
+#   analyze  static-analysis gate: build darnet_analyze alone (Release)
+#            and run it over the tree in --format=json mode. The leg is
+#            green only when the analyzer reports zero non-baselined
+#            findings; a baseline suppression whose finding has been fixed
+#            trips the stale-baseline rule and turns the leg red, so the
+#            baseline can only shrink to match the tree. Wall-clock
+#            seconds land in check_summary.json like every other leg;
+#            the analyzer run itself is budgeted at < 10s (measured ~50ms
+#            -- see EXPERIMENTS.md), so the leg's time is all build.
 #   bench-smoke
 #            build EVERY bench target (Release, observability on) and run
 #            each binary once in its cheapest configuration, so a kernel
@@ -55,7 +64,7 @@ JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
 ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sync-stress
-          bench-smoke)
+          analyze bench-smoke)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -205,6 +214,37 @@ run_bench_smoke() {
   return 0
 }
 
+# analyze leg: the cross-file static analyzer as a CI gate. Builds only
+# the darnet_analyze binary and runs it over the tree in JSON mode with
+# the checked-in baseline applied. Exit 0 means zero non-baselined
+# findings AND zero stale suppressions (the default run fails on both).
+run_analyze() {
+  leg_dir="${BUILD_ROOT}/analyze"
+  echo
+  echo "=== [analyze] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON \
+       -DCMAKE_BUILD_TYPE=Release; then
+    FAILED+=("analyze (configure)")
+    return 1
+  fi
+  echo "=== [analyze] build darnet_analyze (-j${JOBS}) ==="
+  if ! cmake --build "${leg_dir}" -j "${JOBS}" --target darnet_analyze; then
+    FAILED+=("analyze (build)")
+    return 1
+  fi
+  echo "=== [analyze] run ==="
+  out="${leg_dir}/analyze_findings.json"
+  if ! "${leg_dir}/tools/analyze/darnet_analyze" "${ROOT}" --format=json \
+       > "${out}"; then
+    echo "darnet_analyze reported findings (JSON mirrored to ${out}):" >&2
+    cat "${out}" >&2
+    FAILED+=("analyze (findings)")
+    return 1
+  fi
+  PASSED+=("analyze")
+  return 0
+}
+
 # sync-stress leg: tsan + checked invariants on the lock-heavy suites
 # only, repeated so rare interleavings (teardown races, CV handoffs) get
 # more than one chance to bite.
@@ -264,6 +304,9 @@ for leg in "${LEGS[@]}"; do
       ;;
     sync-stress)
       run_sync_stress
+      ;;
+    analyze)
+      run_analyze
       ;;
     bench-smoke)
       run_bench_smoke

@@ -76,10 +76,13 @@
 //                    shim declarations); tests opt in via CMake, and no
 //                    other code may re-enable the deprecated engine API
 //
-// Comments, string literals and character literals are stripped before
-// matching, so documentation may mention banned constructs freely. The
-// linter skips its own directory (tools/lint/) because this rule table
-// necessarily spells out every banned token.
+// Comments, string literals and character literals never trigger a rule:
+// the banned-token rules (sync-raw-primitive, hot-path-alloc) and the
+// observability extraction walk the token stream produced by the shared
+// darnet_analyze lexer, and the remaining text rules run on stripped code.
+// That is what lets the linter lint its own directory -- this rule table
+// spells out every banned construct, but only inside string literals,
+// which are distinct tokens.
 //
 // Usage: darnet_lint <repo_root>
 // Exit status: 0 when clean, 1 on findings, 2 on usage/IO errors.
@@ -98,7 +101,10 @@
 #include <string_view>
 #include <vector>
 
+#include "tools/analyze/lexer.hpp"
+
 namespace fs = std::filesystem;
+namespace analyze = darnet::analyze;
 
 namespace {
 
@@ -167,66 +173,6 @@ std::string strip_noncode(const std::string& text) {
           state = State::kCode;
         } else if (c != '\n') {
           out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// Like strip_noncode, but KEEPS string-literal contents: the observability
-/// contract check must read metric-name literals out of macro call sites
-/// while still ignoring names that only appear in comments.
-std::string strip_comments_keep_strings(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kLine, kBlock, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;  // skip the escaped character
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
         }
         break;
     }
@@ -596,6 +542,9 @@ struct Linter {
     const std::string raw = buffer.str();
     const std::string code = strip_noncode(raw);
     const std::string rel = fs::relative(path, root).generic_string();
+    // Shared tokenizer (tools/analyze): comments and literals are distinct
+    // tokens, so the token-stream rules below cannot fire inside either.
+    const analyze::LexedFile lexed = analyze::lex(raw, rel);
     const bool is_header = path.extension() == ".hpp";
     const bool in_parallel = rel.starts_with("src/parallel/");
     const bool hot_path =
@@ -689,16 +638,26 @@ struct Linter {
     const bool hot_alloc = hot_path || rel.starts_with("src/engine/") ||
                            rel.starts_with("src/serve/");
     if (hot_alloc && !hot_path_alloc_exempt(rel)) {
-      for (const char* token :
-           {"std::vector<float>", "std::vector<double>"}) {
-        for_each_token(code, token, [&](std::size_t pos) {
-          report(path, line_of(code, pos), "hot-path-alloc",
-                 std::string(token) +
-                     " in an inference hot-path directory; use "
-                     "tensor::Storage or tensor::ArenaAlloc so the "
-                     "steady-state path stays zero-alloc (or add a "
-                     "kHotPathAllocExempt entry with a reason)");
-        });
+      const auto& toks = lexed.tokens;
+      for (std::size_t i = 0; i + 5 < toks.size(); ++i) {
+        if (!analyze::is_ident(toks[i], "std") ||
+            !analyze::is_punct(toks[i + 1], "::") ||
+            !analyze::is_ident(toks[i + 2], "vector") ||
+            !analyze::is_punct(toks[i + 3], "<")) {
+          continue;
+        }
+        const analyze::Token& elem = toks[i + 4];
+        if ((!analyze::is_ident(elem, "float") &&
+             !analyze::is_ident(elem, "double")) ||
+            !analyze::is_punct(toks[i + 5], ">")) {
+          continue;
+        }
+        report(path, static_cast<std::size_t>(toks[i].line), "hot-path-alloc",
+               "std::vector<" + elem.text +
+                   "> in an inference hot-path directory; use "
+                   "tensor::Storage or tensor::ArenaAlloc so the "
+                   "steady-state path stays zero-alloc (or add a "
+                   "kHotPathAllocExempt entry with a reason)");
       }
     }
 
@@ -739,19 +698,27 @@ struct Linter {
     // the one place allowed to name the raw std primitives (it wraps
     // them) and its own classes are the annotation vocabulary.
     if (!in_sync) {
-      for (const char* token :
-           {"std::mutex", "std::recursive_mutex", "std::timed_mutex",
-            "std::recursive_timed_mutex", "std::shared_mutex",
-            "std::shared_timed_mutex", "std::condition_variable",
-            "std::condition_variable_any", "std::lock_guard",
-            "std::unique_lock", "std::scoped_lock", "std::shared_lock"}) {
-        for_each_token(code, token, [&](std::size_t pos) {
-          report(path, line_of(code, pos), "sync-raw-primitive",
-                 std::string(token) +
-                     " outside src/sync/; use sync::Mutex / sync::Lock / "
-                     "sync::UniqueLock / sync::CondVar so checked builds "
-                     "can track held locks and lock order");
-        });
+      static const std::set<std::string, std::less<>> kRawPrimitives = {
+          "mutex",         "recursive_mutex",
+          "timed_mutex",   "recursive_timed_mutex",
+          "shared_mutex",  "shared_timed_mutex",
+          "condition_variable", "condition_variable_any",
+          "lock_guard",    "unique_lock",
+          "scoped_lock",   "shared_lock"};
+      const auto& toks = lexed.tokens;
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!analyze::is_ident(toks[i], "std") ||
+            !analyze::is_punct(toks[i + 1], "::") ||
+            toks[i + 2].kind != analyze::Tok::kIdent ||
+            !kRawPrimitives.contains(toks[i + 2].text)) {
+          continue;
+        }
+        report(path, static_cast<std::size_t>(toks[i].line),
+               "sync-raw-primitive",
+               "std::" + toks[i + 2].text +
+                   " outside src/sync/; use sync::Mutex / sync::Lock / "
+                   "sync::UniqueLock / sync::CondVar so checked builds "
+                   "can track held locks and lock order");
       }
       check_guarded_by(path, code);
       check_assert_held(path, raw, code);
@@ -777,61 +744,47 @@ struct Linter {
     // registered through the DARNET_* macros in src/. src/obs/ is skipped
     // (it defines the macros; it registers nothing itself).
     if (rel.starts_with("src/") && !rel.starts_with("src/obs/")) {
-      const std::string with_strings = strip_comments_keep_strings(raw);
-      for (const char* macro : kObsMacros) {
-        for_each_token(with_strings, macro, [&](std::size_t pos) {
-          std::size_t i = pos + std::string_view(macro).size();
-          while (i < with_strings.size() &&
-                 std::isspace(static_cast<unsigned char>(with_strings[i])) !=
-                     0) {
-            ++i;
+      const auto& toks = lexed.tokens;
+      const auto is_obs_macro = [](const analyze::Token& t) {
+        if (t.kind != analyze::Tok::kIdent) return false;
+        for (const char* macro : kObsMacros) {
+          if (t.text == macro) return true;
+        }
+        return false;
+      };
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (is_obs_macro(toks[i])) {
+          if (i + 1 >= toks.size() || !analyze::is_punct(toks[i + 1], "(")) {
+            continue;  // macro definition mention, not a call site
           }
-          if (i >= with_strings.size() || with_strings[i] != '(') {
-            return;  // macro definition mention, not a call site
-          }
-          ++i;
-          while (i < with_strings.size() &&
-                 std::isspace(static_cast<unsigned char>(with_strings[i])) !=
-                     0) {
-            ++i;
-          }
-          if (i >= with_strings.size() || with_strings[i] != '"') {
-            report(path, line_of(with_strings, pos), "obs-name-literal",
-                   std::string(macro) +
+          if (i + 2 >= toks.size() ||
+              toks[i + 2].kind != analyze::Tok::kString) {
+            report(path, static_cast<std::size_t>(toks[i].line),
+                   "obs-name-literal",
+                   toks[i].text +
                        ": metric/span name must be a string literal so the "
                        "documented contract is statically checkable");
-            return;
+            continue;
           }
-          const std::size_t open = i + 1;
-          const std::size_t close = with_strings.find('"', open);
-          if (close == std::string::npos) return;
-          obs_uses.push_back(ObsUse{with_strings.substr(open, close - open),
-                                    rel, line_of(with_strings, pos)});
-        });
-      }
-      // Direct registry() registrations (used by layers that cannot go
-      // through the macros, e.g. src/sync emitting its own metrics):
-      // `registry().counter("name")` et al. count as contract uses too.
-      for (const char* call : {".counter(", ".gauge(", ".histogram("}) {
-        for_each_token(with_strings, call, [&](std::size_t pos) {
-          const std::size_t ctx = pos >= 24 ? pos - 24 : 0;
-          if (with_strings.substr(ctx, pos - ctx).find("registry") ==
-              std::string::npos) {
-            return;  // a method call on something else
-          }
-          std::size_t i = pos + std::string_view(call).size();
-          while (i < with_strings.size() &&
-                 std::isspace(static_cast<unsigned char>(with_strings[i])) !=
-                     0) {
-            ++i;
-          }
-          if (i >= with_strings.size() || with_strings[i] != '"') return;
-          const std::size_t open = i + 1;
-          const std::size_t close = with_strings.find('"', open);
-          if (close == std::string::npos) return;
-          obs_uses.push_back(ObsUse{with_strings.substr(open, close - open),
-                                    rel, line_of(with_strings, pos)});
-        });
+          obs_uses.push_back(ObsUse{toks[i + 2].text, rel,
+                                    static_cast<std::size_t>(toks[i].line)});
+          continue;
+        }
+        // Direct registry() registrations (used by layers that cannot go
+        // through the macros, e.g. src/sync emitting its own metrics):
+        // `registry().counter("name")` et al. count as contract uses too.
+        if (analyze::is_ident(toks[i], "registry") && i + 6 < toks.size() &&
+            analyze::is_punct(toks[i + 1], "(") &&
+            analyze::is_punct(toks[i + 2], ")") &&
+            analyze::is_punct(toks[i + 3], ".") &&
+            (analyze::is_ident(toks[i + 4], "counter") ||
+             analyze::is_ident(toks[i + 4], "gauge") ||
+             analyze::is_ident(toks[i + 4], "histogram")) &&
+            analyze::is_punct(toks[i + 5], "(") &&
+            toks[i + 6].kind == analyze::Tok::kString) {
+          obs_uses.push_back(ObsUse{toks[i + 6].text, rel,
+                                    static_cast<std::size_t>(toks[i].line)});
+        }
       }
     }
   }
@@ -907,10 +860,10 @@ struct Linter {
         if (!entry.is_regular_file()) continue;
         const fs::path& p = entry.path();
         const std::string rel = fs::relative(p, root).generic_string();
-        if (rel.starts_with("tools/lint/")) continue;  // the rule table
         // Fixture files deliberately violate one rule each; they are
-        // linted individually by tests/lint_fixtures/run_fixtures.sh.
+        // exercised individually by their run_fixtures.sh harnesses.
         if (rel.starts_with("tests/lint_fixtures/")) continue;
+        if (rel.starts_with("tests/analyze_fixtures/")) continue;
         const auto ext = p.extension();
         if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
         lint_file(p);
