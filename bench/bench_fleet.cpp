@@ -1,0 +1,242 @@
+// Fleet-scale workload benchmark: scaling curves for the deterministic
+// simulator (ROADMAP item 1, docs/SIMULATION.md).
+//
+// Runs the scenario catalogue across fleet sizes {1, 10, 100, 1000,
+// 10000} (the 10k point is steady-state only; larger fleets get shorter
+// horizons so the whole sweep stays in tens of seconds of wall time) and
+// records per-scale capture-to-verdict latency percentiles, loss,
+// reordering and out-of-sequence counts. The JSON blob is checked in as
+// BENCH_fleet.json; because every quantity is simulated-time-derived,
+// regenerating it on any machine with the same seed must reproduce it
+// bit-for-bit (see the determinism contract in docs/SIMULATION.md).
+//
+// Acceptance gates (exit non-zero on miss):
+//  1. Determinism: the steady scenario re-run with the same seed exports
+//     a bit-identical metrics JSON.
+//  2. Shape: at the largest common scale, the burst scenario's p99
+//     latency is >= steady's p99 (a 10x burst through a thin pipe must
+//     not be free).
+//  3. Loss: scenarios configured with link loss (burst, churn) observe
+//     messages_dropped > 0 at fleet sizes >= 100.
+//
+// Usage: bench_fleet [max_sessions] [out_path]
+//   max_sessions  cap the sweep (default 10000); the CI bench-smoke leg
+//                 runs "bench_fleet 10 /dev/null" for a fast sanity pass
+//   out_path      where to write the JSON ("-" = stdout only;
+//                 default BENCH_fleet.json in the current directory)
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace darnet;
+
+constexpr std::uint64_t kSeed = 42;
+
+struct ScalePoint {
+  int sessions;
+  double duration_s;
+};
+
+// Shrinking horizons keep event counts (and wall time) roughly flat as
+// the fleet grows; the curves stay comparable because every metric is a
+// rate or a distribution, not a raw total.
+const ScalePoint kScales[] = {
+    {1, 10.0}, {10, 10.0}, {100, 10.0}, {1000, 4.0}, {10000, 2.0},
+};
+
+struct Run {
+  int sessions{0};
+  double duration_s{0.0};
+  sim::FleetReport report;
+};
+
+sim::FleetReport run_scenario(const sim::Scenario& scenario, int sessions,
+                              double duration_s, std::string* json_out) {
+  sim::ScenarioConfig config = scenario.make(sessions, kSeed);
+  sim::set_duration(config, duration_s);
+  sim::FleetSimulator fleet(config);
+  fleet.run();
+  if (json_out != nullptr) *json_out = fleet.metrics_json();
+  return fleet.report();
+}
+
+void append_run(std::string& out, const Run& run, bool last) {
+  const sim::FleetReport& r = run.report;
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"sessions\": %d, \"duration_s\": %.6f, "
+      "\"requests\": %" PRIu64 ", \"served\": %" PRIu64
+      ", \"timeouts\": %" PRIu64 ", \"degraded\": %" PRIu64
+      ",\n     \"latency_ms\": {\"p50\": %.6f, \"p90\": %.6f, "
+      "\"p99\": %.6f, \"max\": %.6f},\n"
+      "     \"messages_sent\": %" PRIu64 ", \"messages_dropped\": %" PRIu64
+      ", \"messages_reordered\": %" PRIu64 ", \"out_of_order\": %" PRIu64
+      ", \"out_of_sequence\": %" PRIu64
+      ",\n     \"clock_abs_error_ms\": {\"mean\": %.6f, \"max\": %.6f}}%s\n",
+      run.sessions, run.duration_s, r.requests, r.served, r.timeouts,
+      r.degraded, r.latency_p50_ms, r.latency_p90_ms, r.latency_p99_ms,
+      r.latency_max_ms, r.messages_sent, r.messages_dropped,
+      r.messages_reordered, r.messages_out_of_order, r.out_of_sequence,
+      r.clock_mean_abs_error_ms, r.clock_max_abs_error_ms,
+      last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_sessions = 10000;
+  std::string out_path = "BENCH_fleet.json";
+  if (argc > 1) max_sessions = std::atoi(argv[1]);
+  if (argc > 2) out_path = argv[2];
+  if (max_sessions < 1) {
+    std::cerr << "bench_fleet: max_sessions must be >= 1\n";
+    return 2;
+  }
+
+  std::printf("bench_fleet: scenario catalogue x fleet sizes (seed %" PRIu64
+              ", max %d sessions)\n\n",
+              kSeed, max_sessions);
+
+  // --- Gate 1: determinism. Same seed => bit-identical metrics export.
+  const sim::Scenario* steady = sim::find_scenario("steady");
+  if (steady == nullptr) {
+    std::cerr << "bench_fleet: steady scenario missing from catalogue\n";
+    return 2;
+  }
+  const int parity_sessions = std::min(100, max_sessions);
+  std::string json_a;
+  std::string json_b;
+  run_scenario(*steady, parity_sessions, 5.0, &json_a);
+  run_scenario(*steady, parity_sessions, 5.0, &json_b);
+  const bool determinism_ok = json_a == json_b && !json_a.empty();
+  std::printf("  determinism (steady, %d sessions, re-run): %s\n",
+              parity_sessions, determinism_ok ? "bit-identical" : "DIVERGED");
+
+  // --- The sweep: every scenario at every scale (10k steady-only).
+  std::vector<std::pair<std::string, std::vector<Run>>> curves;
+  for (const auto& scenario : sim::scenarios()) {
+    std::vector<Run> runs;
+    for (const ScalePoint& scale : kScales) {
+      if (scale.sessions > max_sessions) continue;
+      if (scale.sessions > 1000 && scenario.name != "steady") continue;
+      Run run;
+      run.sessions = scale.sessions;
+      run.duration_s = scale.duration_s;
+      run.report =
+          run_scenario(scenario, scale.sessions, scale.duration_s, nullptr);
+      runs.push_back(std::move(run));
+    }
+    std::printf("  %-14s", scenario.name.c_str());
+    for (const Run& run : runs) {
+      std::printf("  [%5d] p50=%.0fms p99=%.0fms drop=%" PRIu64
+                  " oos=%" PRIu64,
+                  run.sessions, run.report.latency_p50_ms,
+                  run.report.latency_p99_ms, run.report.messages_dropped,
+                  run.report.out_of_sequence);
+    }
+    std::printf("\n");
+    curves.emplace_back(scenario.name, std::move(runs));
+  }
+
+  // --- Gate 2: burst p99 >= steady p99 at the largest common scale.
+  bool shape_ok = true;
+  {
+    const std::vector<Run>* steady_runs = nullptr;
+    const std::vector<Run>* burst_runs = nullptr;
+    for (const auto& [name, runs] : curves) {
+      if (name == "steady") steady_runs = &runs;
+      if (name == "burst") burst_runs = &runs;
+    }
+    if (steady_runs != nullptr && burst_runs != nullptr &&
+        !burst_runs->empty()) {
+      const Run& burst_top = burst_runs->back();
+      for (const Run& run : *steady_runs) {
+        if (run.sessions == burst_top.sessions) {
+          shape_ok = burst_top.report.latency_p99_ms >=
+                     run.report.latency_p99_ms;
+          std::printf("\n  shape: burst p99 %.1fms >= steady p99 %.1fms at "
+                      "%d sessions: %s\n",
+                      burst_top.report.latency_p99_ms,
+                      run.report.latency_p99_ms, burst_top.sessions,
+                      shape_ok ? "PASS" : "FAIL");
+        }
+      }
+    }
+  }
+
+  // --- Gate 3: configured link loss is actually observed at scale.
+  bool loss_ok = true;
+  for (const auto& [name, runs] : curves) {
+    if (name != "burst" && name != "churn") continue;
+    for (const Run& run : runs) {
+      if (run.sessions < 100) continue;
+      if (run.report.messages_dropped == 0) {
+        std::printf("  loss: %s at %d sessions observed zero drops: FAIL\n",
+                    name.c_str(), run.sessions);
+        loss_ok = false;
+      }
+    }
+  }
+  if (loss_ok) std::printf("  loss: lossy scenarios observe drops: PASS\n");
+
+  // --- JSON export (deterministic: fixed order, fixed formatting).
+  std::string json = "{\n  \"benchmark\": \"bench/bench_fleet.cpp\",\n";
+  {
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "  \"seed\": %" PRIu64 ",\n  \"max_sessions\": %d,\n"
+                  "  \"determinism_bit_identical\": %s,\n"
+                  "  \"scenarios\": {\n",
+                  kSeed, max_sessions, determinism_ok ? "true" : "false");
+    json += head;
+  }
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    json += "  \"" + curves[i].first + "\": [\n";
+    for (std::size_t j = 0; j < curves[i].second.size(); ++j) {
+      append_run(json, curves[i].second[j],
+                 j + 1 == curves[i].second.size());
+    }
+    json += (i + 1 == curves.size()) ? "  ]\n" : "  ],\n";
+  }
+  json += "  },\n";
+  {
+    char tail[128];
+    std::snprintf(tail, sizeof(tail),
+                  "  \"criteria\": {\"determinism\": %s, "
+                  "\"burst_p99_ge_steady\": %s, \"loss_observed\": %s}\n}\n",
+                  determinism_ok ? "true" : "false",
+                  shape_ok ? "true" : "false", loss_ok ? "true" : "false");
+    json += tail;
+  }
+
+  if (out_path == "-") {
+    std::cout << "\n" << json;
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::cerr << "bench_fleet: cannot write '" << out_path << "'\n";
+      return 2;
+    }
+    file << json;
+    std::printf("\n  wrote %s\n", out_path.c_str());
+  }
+
+  const bool ok = determinism_ok && shape_ok && loss_ok;
+  std::printf("\n  criteria: determinism %s; burst shape %s; loss %s\n",
+              determinism_ok ? "PASS" : "FAIL", shape_ok ? "PASS" : "FAIL",
+              loss_ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,64 +1,18 @@
 // Virtual point-to-point link (Bluetooth / 802.11 stand-in).
 //
-// Delivers byte payloads through the simulation with configurable base
-// latency, jitter, loss, and bandwidth, and keeps transfer statistics for
-// the privacy pipeline's bandwidth accounting. Jitter can reorder messages
-// -- which is precisely why the controller orders tuples by their embedded
-// timestamps rather than by arrival (Section 3.2, "Data Normalization").
+// Promoted to darnet::sim alongside the event queue so fleet scenarios
+// can configure loss/reorder knobs directly (see docs/SIMULATION.md);
+// this header keeps the collection-side names alive for the middleware
+// and its callers.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <span>
-#include <vector>
-
 #include "collection/sim.hpp"
-#include "util/rng.hpp"
+#include "sim/link.hpp"
 
 namespace darnet::collection {
 
-struct LinkConfig {
-  double base_latency_s = 0.015;   // one-way propagation + stack latency
-  double jitter_s = 0.005;         // uniform [0, jitter) extra delay
-  double loss_rate = 0.0;          // i.i.d. drop probability
-  double bandwidth_bps = 2.5e6;    // ~Bluetooth 2.1 EDR effective payload
-};
-
-struct LinkStats {
-  std::uint64_t messages_sent{0};
-  std::uint64_t messages_dropped{0};
-  std::uint64_t bytes_sent{0};
-  double total_latency_s{0.0};  // summed over delivered messages
-
-  [[nodiscard]] double mean_latency_s() const noexcept {
-    const auto delivered = messages_sent - messages_dropped;
-    return delivered ? total_latency_s / static_cast<double>(delivered) : 0.0;
-  }
-};
-
-class VirtualLink {
- public:
-  using Handler = std::function<void(std::vector<std::uint8_t>)>;
-
-  VirtualLink(Simulation& sim, LinkConfig config, std::uint64_t seed);
-
-  /// Receiver callback invoked (in simulation time) on delivery.
-  void set_receiver(Handler handler);
-
-  /// Queue a payload for transmission at the current simulation time.
-  void send(std::vector<std::uint8_t> payload);
-
-  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = LinkStats{}; }
-  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
-
- private:
-  Simulation& sim_;
-  LinkConfig config_;
-  util::Rng rng_;
-  Handler receiver_;
-  LinkStats stats_;
-  SimTime channel_free_at_{0.0};  // serialisation delay queueing point
-};
+using sim::LinkConfig;
+using sim::LinkStats;
+using sim::VirtualLink;
 
 }  // namespace darnet::collection

@@ -1,85 +1,22 @@
 // Discrete-event simulation driver for the data-collection middleware.
 //
-// The paper's deployment runs on two Android devices over Bluetooth/802.11;
-// this substrate replaces the physical devices with simulated ones (see
-// DESIGN.md) while keeping the middleware logic -- polling, timestamping,
-// batching, clock sync, alignment -- identical. Everything is driven by a
-// single-threaded event queue with deterministic ordering.
+// The substrate (event queue, drifting device clocks) was promoted to
+// darnet::sim so the fleet-scale simulator can share it (see
+// docs/SIMULATION.md); this header keeps the historical collection-side
+// names alive. The middleware logic -- polling, timestamping, batching,
+// clock sync, alignment -- is unchanged and still runs on the same
+// single-threaded, deterministically ordered event queue.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <queue>
+#include "sim/clock.hpp"
+#include "sim/queue.hpp"
 
 namespace darnet::collection {
 
-/// Global ("true") simulation time in seconds. Only the simulation driver
-/// sees it; devices see their own drifting clocks.
-using SimTime = double;
+using sim::SimTime;
+using sim::Simulation;
 
-class Simulation {
- public:
-  /// Schedule `fn` at absolute time `at` (must not be in the past).
-  void schedule(SimTime at, std::function<void()> fn);
-
-  /// Schedule relative to the current time.
-  void schedule_in(SimTime delay, std::function<void()> fn);
-
-  /// Run events until the queue is empty or the horizon is reached.
-  /// Advances now() to min(horizon, last event time).
-  void run_until(SimTime horizon);
-
-  [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
-
- private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  SimTime now_{0.0};
-  std::uint64_t next_seq_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-};
-
-/// A device-local clock with rate error (drift) and offset, as carried by
-/// each collection agent. The paper: "the system clock is highly
-/// susceptible to drift, [so] this synchronization process is repeated
-/// every 5 seconds."
-class DeviceClock {
- public:
-  /// drift_ppm: rate error in parts-per-million (e.g. +200 means the local
-  /// clock gains 200 us per true second). initial_offset: starting error.
-  explicit DeviceClock(double drift_ppm = 0.0, double initial_offset = 0.0)
-      : rate_(1.0 + drift_ppm * 1e-6), offset_(initial_offset) {}
-
-  /// The device's reading of its own clock at true time `true_now`.
-  [[nodiscard]] double read(SimTime true_now) const noexcept {
-    return true_now * rate_ + offset_;
-  }
-
-  /// Slam the clock so that read(true_now) == new_local (what an agent does
-  /// when it receives the master's UTC plus the latency constant).
-  void set(SimTime true_now, double new_local) noexcept {
-    offset_ = new_local - true_now * rate_;
-  }
-
-  /// Signed error vs true time at `true_now`.
-  [[nodiscard]] double error(SimTime true_now) const noexcept {
-    return read(true_now) - true_now;
-  }
-
- private:
-  double rate_;
-  double offset_;
-};
+/// Historical name: the per-device drifting clock is now sim::SimClock.
+using DeviceClock = sim::SimClock;
 
 }  // namespace darnet::collection

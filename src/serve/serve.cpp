@@ -87,10 +87,14 @@ Server::Server(std::shared_ptr<engine::EnsembleClassifier> ensemble,
 
 Server::~Server() { drain(); }
 
+std::chrono::steady_clock::time_point Server::clock_now() const noexcept {
+  return config_.time_source ? config_.time_source->now() : Clock::now();
+}
+
 Server::Submission Server::submit(engine::ClassifyRequest request) {
   Pending pending;
   pending.request = std::move(request);
-  pending.enqueued = Clock::now();
+  pending.enqueued = clock_now();
 
   Submission out;
   out.response = pending.promise.get_future();
@@ -176,6 +180,12 @@ void Server::worker_loop() {
             queue_.size() >= static_cast<std::size_t>(config_.max_batch)) {
           break;
         }
+        if (config_.time_source) {
+          // A custom (virtual) clock cannot arm a real CV timeout -- it
+          // only advances between events -- so the delay flush degenerates
+          // to flush-on-arrival: take whatever is queued now.
+          break;
+        }
         const auto flush_at =
             queue_.front().enqueued +
             std::chrono::microseconds(config_.max_delay_us);
@@ -197,8 +207,8 @@ void Server::worker_loop() {
       } else if (degraded_ && depth <= config_.degrade_low_watermark) {
         degraded_ = false;
       }
-      degraded = degraded_;
-      DARNET_GAUGE_SET("serve/degraded_mode", degraded_ ? 1 : 0);
+      degraded = forced_degraded_.value_or(degraded_);
+      DARNET_GAUGE_SET("serve/degraded_mode", degraded ? 1 : 0);
 
       const std::size_t take =
           std::min(depth, static_cast<std::size_t>(config_.max_batch));
@@ -225,7 +235,7 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
 
   // Deadline triage: requests already past their deadline get a timeout
   // verdict without inference; the rest keep their admission order.
-  const auto now = Clock::now();
+  const auto now = clock_now();
   std::vector<Pending> live;
   std::vector<Pending> expired;
   live.reserve(batch.size());
@@ -294,7 +304,7 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
               engine::advance(state, row, config_.streaming);
           const auto done_ns =
               std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  Clock::now() - pending.enqueued)
+                  clock_now() - pending.enqueued)
                   .count();
           response.result.latency_us = done_ns / 1000;
           DARNET_HISTOGRAM_NS("serve/request_latency_ns", done_ns);
@@ -375,7 +385,17 @@ std::size_t Server::queue_depth() const {
 
 bool Server::degraded_mode() const {
   sync::Lock lock(mu_);
-  return degraded_;
+  return forced_degraded_.value_or(degraded_);
+}
+
+void Server::force_degraded(std::optional<bool> forced) {
+  {
+    sync::Lock lock(mu_);
+    forced_degraded_ = forced;
+  }
+  // Wake any worker parked on batch formation so the new mode applies to
+  // the next batch it cuts.
+  work_cv_.notify_all();
 }
 
 engine::SessionState Server::session(std::uint64_t session_id) const {

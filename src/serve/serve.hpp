@@ -45,6 +45,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -72,6 +73,20 @@ enum class Status {
 
 [[nodiscard]] const char* admit_name(Admit admit) noexcept;
 [[nodiscard]] const char* status_name(Status status) noexcept;
+
+/// The clock the server reads for deadline triage and queue-latency
+/// accounting. Production uses the default (std::chrono::steady_clock);
+/// the fleet simulator injects one driven by virtual time so simulated
+/// deadlines and the server's time math agree (a hidden wall-clock read
+/// would make simulated deadline behaviour nondeterministic -- see
+/// docs/SIMULATION.md "Determinism contract"). Implementations must be
+/// thread-safe: workers and submitters read concurrently.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  [[nodiscard]] virtual std::chrono::steady_clock::time_point now()
+      const noexcept = 0;
+};
 
 /// What a request's future resolves to.
 struct Response {
@@ -103,6 +118,12 @@ struct ServerConfig {
   int workers = 1;
   /// Per-session smoothing + debounce parameters.
   engine::StreamingConfig streaming;
+  /// Clock for deadline triage and latency accounting. Null (the default)
+  /// reads std::chrono::steady_clock. With a custom source installed the
+  /// max_delay_us flush timer degenerates to flush-on-arrival: a virtual
+  /// clock only advances between events, so a real condition-variable
+  /// timeout against it is meaningless (and could sleep arbitrarily long).
+  std::shared_ptr<const TimeSource> time_source;
 };
 
 /// The micro-batching inference server. Thread-safe: submit() may be
@@ -149,8 +170,14 @@ class Server {
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] std::size_t queue_depth() const;
-  /// True while the degraded-mode hysteresis is engaged.
+  /// True while the degraded-mode hysteresis is engaged (or forced).
   [[nodiscard]] bool degraded_mode() const;
+  /// Operator override for degraded mode: force it on/off regardless of
+  /// the watermark hysteresis, or std::nullopt to return control to the
+  /// hysteresis. Used by resilience drills (the fleet simulator's
+  /// degraded-mode flapping scenario) where queue depth alone would never
+  /// deterministically cross the watermarks.
+  void force_degraded(std::optional<bool> forced);
   /// Copy of a session's streaming state (default-constructed when the
   /// session has never been served).
   [[nodiscard]] engine::SessionState session(std::uint64_t session_id) const;
@@ -171,6 +198,9 @@ class Server {
   // Resolves a request's promise. REQUIRES: mu_ free (promise
   // continuations must never run under the admission lock).
   void complete(Pending& pending, Response response);
+  // The configured clock (config_.time_source, or steady_clock when null).
+  [[nodiscard]] std::chrono::steady_clock::time_point clock_now()
+      const noexcept;
 
   const std::shared_ptr<engine::EnsembleClassifier> ensemble_;
   const ServerConfig config_;
@@ -186,6 +216,9 @@ class Server {
   std::deque<Pending> queue_ DARNET_GUARDED_BY(mu_);
   bool draining_ DARNET_GUARDED_BY(mu_){false};
   bool degraded_ DARNET_GUARDED_BY(mu_){false};
+  // Operator override (force_degraded). The hysteresis keeps tracking
+  // queue depth underneath so releasing the override is seamless.
+  std::optional<bool> forced_degraded_ DARNET_GUARDED_BY(mu_);
   std::uint64_t next_ticket_ DARNET_GUARDED_BY(mu_){0};
   Stats stats_ DARNET_GUARDED_BY(mu_);
 

@@ -1,0 +1,72 @@
+// darnet::sim -- virtual time for the deterministic fleet simulator.
+//
+// SimTime is the global ("true") simulation timeline in seconds; only the
+// event queue sees it. Every simulated device carries a SimClock -- a
+// local clock with rate error (drift) and offset -- because the paper's
+// middleware exists precisely to survive such clocks: "the system clock
+// is highly susceptible to drift, [so] this synchronization process is
+// repeated every 5 seconds" (§4.1).
+//
+// The serve tier measures deadlines and latency on
+// std::chrono::steady_clock; to_time_point()/to_sim_time() map the
+// simulated timeline onto steady_clock's representation so a
+// serve::TimeSource can be driven by the event queue (see
+// docs/SIMULATION.md "Determinism contract").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace darnet::sim {
+
+/// Global ("true") simulation time in seconds. Only the simulation driver
+/// sees it; devices see their own drifting clocks.
+using SimTime = double;
+
+/// Simulated seconds -> steady_clock time_point (epoch-anchored: SimTime 0
+/// maps to time_since_epoch() == 0). Sub-nanosecond detail truncates.
+[[nodiscard]] inline std::chrono::steady_clock::time_point to_time_point(
+    SimTime t) noexcept {
+  return std::chrono::steady_clock::time_point{
+      std::chrono::nanoseconds{static_cast<std::int64_t>(t * 1e9)}};
+}
+
+/// Inverse of to_time_point().
+[[nodiscard]] inline SimTime to_sim_time(
+    std::chrono::steady_clock::time_point tp) noexcept {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             tp.time_since_epoch())
+      .count();
+}
+
+/// A device-local clock with rate error (drift) and offset, as carried by
+/// each collection agent.
+class SimClock {
+ public:
+  /// drift_ppm: rate error in parts-per-million (e.g. +200 means the local
+  /// clock gains 200 us per true second). initial_offset: starting error.
+  explicit SimClock(double drift_ppm = 0.0, double initial_offset = 0.0)
+      : rate_(1.0 + drift_ppm * 1e-6), offset_(initial_offset) {}
+
+  /// The device's reading of its own clock at true time `true_now`.
+  [[nodiscard]] double read(SimTime true_now) const noexcept {
+    return true_now * rate_ + offset_;
+  }
+
+  /// Slam the clock so that read(true_now) == new_local (what an agent does
+  /// when it receives the master's UTC plus the latency constant).
+  void set(SimTime true_now, double new_local) noexcept {
+    offset_ = new_local - true_now * rate_;
+  }
+
+  /// Signed error vs true time at `true_now`.
+  [[nodiscard]] double error(SimTime true_now) const noexcept {
+    return read(true_now) - true_now;
+  }
+
+ private:
+  double rate_;
+  double offset_;
+};
+
+}  // namespace darnet::sim

@@ -1,0 +1,154 @@
+// FleetSimulator: thousands of vehicles -> one controller -> one server,
+// on one deterministic timeline.
+//
+// The simulator instantiates a VehicleAgent per session, wires every
+// uplink through a tap (latency / out-of-sequence accounting) into the
+// collection controller, and drives periodic inference: each vehicle's
+// freshest frame + IMU window is submitted to serve::Server and the
+// response is awaited *within the same simulation event* (lockstep), so
+// the server -- despite running real worker threads -- sees a
+// deterministic request sequence and the whole run is bit-reproducible
+// from the seed. The server reads time through a VirtualTimeSource, so
+// deadline triage and latency accounting happen in simulated time too.
+// See docs/SIMULATION.md for the determinism contract and the scenario
+// catalogue.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collection/controller.hpp"
+#include "serve/serve.hpp"
+#include "sim/scenario.hpp"
+#include "sim/vehicle.hpp"
+
+namespace darnet::sim {
+
+/// serve::TimeSource driven by the event queue: the server's deadline and
+/// latency math reads simulated time. The Simulation must outlive the
+/// Server holding this source.
+class VirtualTimeSource final : public serve::TimeSource {
+ public:
+  explicit VirtualTimeSource(const Simulation& sim) noexcept : sim_(&sim) {}
+  [[nodiscard]] std::chrono::steady_clock::time_point now()
+      const noexcept override {
+    return to_time_point(sim_->now());
+  }
+
+ private:
+  const Simulation* sim_;
+};
+
+/// Aggregate outcome of one run. Every field is derived from simulated
+/// time and deterministic counters -- no wall-clock quantity appears, so
+/// the report (and its JSON form) is bit-identical across runs with the
+/// same seed.
+struct FleetReport {
+  std::uint64_t events_executed{0};
+
+  // Request outcomes (fleet-wide sums of per-vehicle counts).
+  std::uint64_t requests{0};
+  std::uint64_t served{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t shed{0};
+  std::uint64_t rejected{0};
+  std::uint64_t skipped{0};   // no frame delivered yet at infer time
+  std::uint64_t degraded{0};  // responses served by the degraded path
+  std::uint64_t alerts{0};    // debounced alert onsets across sessions
+
+  // Capture-to-verdict latency (ms, simulated time) over served requests.
+  double latency_p50_ms{0.0};
+  double latency_p90_ms{0.0};
+  double latency_p99_ms{0.0};
+  double latency_max_ms{0.0};
+  /// Mean over per-device p50s / the worst per-device p99 (devices with
+  /// at least one served request).
+  double device_mean_p50_ms{0.0};
+  double device_worst_p99_ms{0.0};
+
+  // Link totals over all vehicle up/downlinks.
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_dropped{0};
+  std::uint64_t messages_reordered{0};
+  std::uint64_t messages_out_of_order{0};
+  std::uint64_t bytes_sent{0};
+
+  /// Readings whose device timestamp regressed within their stream at the
+  /// tap (reordered delivery observed at the controller side).
+  std::uint64_t out_of_sequence{0};
+
+  // Device-clock error sampled every clock_probe_period_s (ms, |error|).
+  std::uint64_t clock_probes{0};
+  double clock_mean_abs_error_ms{0.0};
+  double clock_max_abs_error_ms{0.0};
+
+  /// Served verdict histogram over the six image classes.
+  std::array<std::uint64_t, 6> verdicts{};
+
+  // Server-side batch accounting (deterministic under lockstep).
+  std::uint64_t batches{0};
+  std::uint64_t degraded_batches{0};
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(ScenarioConfig config);
+  ~FleetSimulator();
+
+  FleetSimulator(const FleetSimulator&) = delete;
+  FleetSimulator& operator=(const FleetSimulator&) = delete;
+
+  /// Execute the scenario to its horizon. Call once.
+  void run();
+
+  /// Valid after run().
+  [[nodiscard]] const FleetReport& report() const noexcept { return report_; }
+
+  /// Deterministic JSON export of the report (sorted-stable key order,
+  /// fixed float formatting) -- the bit-parity artefact of the
+  /// determinism contract.
+  [[nodiscard]] std::string metrics_json() const;
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] serve::Server& server() noexcept { return *server_; }
+  [[nodiscard]] collection::Controller& controller() noexcept {
+    return *controller_;
+  }
+  [[nodiscard]] Simulation& simulation() noexcept { return sim_; }
+
+  /// Model-input sizes of the built-in synthetic ensemble.
+  static constexpr int kFrameFeatures = 16;
+  static constexpr int kImuWindow = 8;
+  static constexpr int kImuChannels = 3;
+  static constexpr int kClasses = 6;
+
+ private:
+  struct Track;
+
+  void wire_vehicle(std::size_t index);
+  void on_uplink(std::size_t index, std::vector<std::uint8_t> payload);
+  void infer_step(std::size_t index);
+  void clock_probe();
+  void finalize_report();
+
+  ScenarioConfig config_;
+  Simulation sim_;
+  std::shared_ptr<engine::EnsembleClassifier> ensemble_;
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<collection::Controller> controller_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+  FleetReport report_;
+  // Clock-probe accumulators.
+  std::uint64_t clock_probes_{0};
+  double clock_abs_error_sum_ms_{0.0};
+  double clock_abs_error_max_ms_{0.0};
+  bool ran_{false};
+};
+
+}  // namespace darnet::sim

@@ -1,0 +1,67 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace darnet::sim {
+
+VirtualLink::VirtualLink(Simulation& sim, LinkConfig config,
+                         std::uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {
+  if (config.base_latency_s < 0.0 || config.jitter_s < 0.0 ||
+      config.loss_rate < 0.0 || config.loss_rate > 1.0 ||
+      config.bandwidth_bps <= 0.0 || config.reorder_rate < 0.0 ||
+      config.reorder_rate > 1.0 || config.reorder_delay_s < 0.0) {
+    throw std::invalid_argument("VirtualLink: invalid configuration");
+  }
+}
+
+void VirtualLink::set_receiver(Handler handler) {
+  receiver_ = std::move(handler);
+}
+
+void VirtualLink::send(std::vector<std::uint8_t> payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  DARNET_COUNTER_ADD("sim/link_messages_sent_total", 1);
+  DARNET_COUNTER_ADD("sim/link_bytes_sent_total", payload.size());
+  if (rng_.chance(config_.loss_rate)) {
+    ++stats_.messages_dropped;
+    DARNET_COUNTER_ADD("sim/link_messages_dropped_total", 1);
+    return;
+  }
+  if (!receiver_) {
+    throw std::logic_error("VirtualLink::send: no receiver attached");
+  }
+
+  // Serialisation delay: the channel transmits one message at a time.
+  const double tx_time =
+      static_cast<double>(payload.size()) * 8.0 / config_.bandwidth_bps;
+  const SimTime start = std::max(sim_.now(), channel_free_at_);
+  channel_free_at_ = start + tx_time;
+  double delay = (channel_free_at_ - sim_.now()) + config_.base_latency_s +
+                 rng_.uniform(0.0, config_.jitter_s);
+  if (rng_.chance(config_.reorder_rate)) {
+    // Hold this message back past its successors (a retransmission /
+    // alternate-route stand-in); successors overtake it in delivery order.
+    delay += config_.reorder_delay_s;
+    ++stats_.messages_reordered;
+    DARNET_COUNTER_ADD("sim/link_messages_reordered_total", 1);
+  }
+  stats_.total_latency_s += delay;
+
+  const std::uint64_t seq = next_send_seq_++;
+  sim_.schedule_in(delay, [this, seq, p = std::move(payload)]() mutable {
+    if (seq < delivered_high_seq_) {
+      ++stats_.messages_out_of_order;
+      DARNET_COUNTER_ADD("sim/link_messages_out_of_order_total", 1);
+    } else {
+      delivered_high_seq_ = seq;
+    }
+    receiver_(std::move(p));
+  });
+}
+
+}  // namespace darnet::sim

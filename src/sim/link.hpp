@@ -1,0 +1,73 @@
+// Virtual point-to-point link (Bluetooth / 802.11 stand-in).
+//
+// Delivers byte payloads through the simulation with configurable base
+// latency, jitter, loss, reorder, and bandwidth, and keeps transfer
+// statistics for the privacy pipeline's bandwidth accounting. Jitter and
+// explicit reordering can invert delivery order -- which is precisely why
+// the controller orders tuples by their embedded timestamps rather than
+// by arrival (Section 3.2, "Data Normalization"). Each delivery carries a
+// send-sequence number so the link can count out-of-order arrivals, the
+// fleet simulator's out-of-sequence evidence (docs/SIMULATION.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/queue.hpp"
+#include "util/rng.hpp"
+
+namespace darnet::sim {
+
+struct LinkConfig {
+  double base_latency_s = 0.015;   // one-way propagation + stack latency
+  double jitter_s = 0.005;         // uniform [0, jitter) extra delay
+  double loss_rate = 0.0;          // i.i.d. drop probability
+  double bandwidth_bps = 2.5e6;    // ~Bluetooth 2.1 EDR effective payload
+  double reorder_rate = 0.0;       // i.i.d. chance of an extra hold-back
+  double reorder_delay_s = 0.03;   // hold-back applied to reordered sends
+};
+
+struct LinkStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_dropped{0};
+  std::uint64_t messages_reordered{0};    // sends given the extra hold-back
+  std::uint64_t messages_out_of_order{0};  // deliveries behind the high-water seq
+  std::uint64_t bytes_sent{0};
+  double total_latency_s{0.0};  // summed over delivered messages
+
+  [[nodiscard]] double mean_latency_s() const noexcept {
+    const auto delivered = messages_sent - messages_dropped;
+    return delivered ? total_latency_s / static_cast<double>(delivered) : 0.0;
+  }
+};
+
+class VirtualLink {
+ public:
+  using Handler = std::function<void(std::vector<std::uint8_t>)>;
+
+  VirtualLink(Simulation& sim, LinkConfig config, std::uint64_t seed);
+
+  /// Receiver callback invoked (in simulation time) on delivery.
+  void set_receiver(Handler handler);
+
+  /// Queue a payload for transmission at the current simulation time.
+  void send(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = LinkStats{}; }
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+ private:
+  Simulation& sim_;
+  LinkConfig config_;
+  util::Rng rng_;
+  Handler receiver_;
+  LinkStats stats_;
+  SimTime channel_free_at_{0.0};  // serialisation delay queueing point
+  std::uint64_t next_send_seq_{0};
+  std::uint64_t delivered_high_seq_{0};  // highest send seq delivered so far
+};
+
+}  // namespace darnet::sim

@@ -1,8 +1,10 @@
-#include "collection/sim.hpp"
+#include "sim/queue.hpp"
 
 #include <stdexcept>
 
-namespace darnet::collection {
+#include "obs/obs.hpp"
+
+namespace darnet::sim {
 
 void Simulation::schedule(SimTime at, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("Simulation::schedule: null callback");
@@ -25,9 +27,11 @@ void Simulation::run_until(SimTime horizon) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.at;
+    ++executed_;
+    DARNET_COUNTER_ADD("sim/events_executed_total", 1);
     ev.fn();
   }
   if (now_ < horizon) now_ = horizon;
 }
 
-}  // namespace darnet::collection
+}  // namespace darnet::sim

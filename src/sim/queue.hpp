@@ -1,0 +1,55 @@
+// Discrete-event queue: the heart of the deterministic fleet simulator.
+//
+// Single-threaded, with stable (time, sequence) tie-breaking: events at
+// the same instant run in scheduling order, so an entire run is a pure
+// function of the seed and the scenario -- the bit-reproducibility
+// contract documented in docs/SIMULATION.md. Originally built for the
+// two-device collection middleware (DESIGN.md); promoted to src/sim so
+// fleet-scale scenarios, vehicles, and links all share one timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+#include "sim/clock.hpp"
+
+namespace darnet::sim {
+
+class Simulation {
+ public:
+  /// Schedule `fn` at absolute time `at` (must not be in the past).
+  void schedule(SimTime at, std::function<void()> fn);
+
+  /// Schedule relative to the current time.
+  void schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Run events until the queue is empty or the horizon is reached.
+  /// Advances now() to min(horizon, last event time).
+  void run_until(SimTime horizon);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  /// Events executed so far (deterministic for a given seed + scenario).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0.0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace darnet::sim

@@ -1,0 +1,124 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace darnet::sim {
+
+namespace {
+
+[[nodiscard]] ScenarioConfig base_config(const char* name, int sessions,
+                                         std::uint64_t seed) {
+  ScenarioConfig config;
+  config.name = name;
+  config.sessions = sessions;
+  config.seed = seed;
+  return config;
+}
+
+[[nodiscard]] std::vector<Scenario> build_catalogue() {
+  std::vector<Scenario> out;
+  const auto register_scenario = [&out](const char* name,
+                                        const char* stresses, auto make) {
+    out.push_back(Scenario{name, stresses, std::move(make)});
+  };
+
+  register_scenario(
+      "steady", "baseline: nominal rates, clean links, mild clock error",
+      [](int sessions, std::uint64_t seed) {
+        return base_config("steady", sessions, seed);
+      });
+
+  register_scenario(
+      "burst", "10x traffic inside a window on a thin, lossy link",
+      [](int sessions, std::uint64_t seed) {
+        ScenarioConfig config = base_config("burst", sessions, seed);
+        config.load.kind = LoadCurve::Kind::kBurst;
+        config.load.burst_factor = 10.0;
+        config.load.burst_start_s = 0.4 * config.duration_s;
+        config.load.burst_end_s = 0.7 * config.duration_s;
+        // A thin pipe: nominal load fits easily, the burst saturates the
+        // serialisation queue and drives delivery latency + timeouts.
+        config.link.bandwidth_bps = 1.2e5;
+        config.link.loss_rate = 0.01;
+        return config;
+      });
+
+  register_scenario(
+      "diurnal", "slow sinusoidal load swing (one compressed day)",
+      [](int sessions, std::uint64_t seed) {
+        ScenarioConfig config = base_config("diurnal", sessions, seed);
+        config.load.kind = LoadCurve::Kind::kDiurnal;
+        config.load.diurnal_min = 0.25;
+        config.load.diurnal_max = 2.5;
+        config.load.diurnal_period_s = config.duration_s;
+        return config;
+      });
+
+  register_scenario(
+      "churn", "staggered joins + mid-run departures on flaky links",
+      [](int sessions, std::uint64_t seed) {
+        ScenarioConfig config = base_config("churn", sessions, seed);
+        config.join_spread_s = 0.5 * config.duration_s;
+        config.leave_fraction = 0.3;
+        config.link.loss_rate = 0.02;
+        config.link.jitter_s = 0.01;
+        return config;
+      });
+
+  register_scenario(
+      "clock_storm", "heavy drift + sparse sync: timestamp error stress",
+      [](int sessions, std::uint64_t seed) {
+        ScenarioConfig config = base_config("clock_storm", sessions, seed);
+        config.drift_ppm_max = 2000.0;
+        config.initial_offset_max_s = 0.05;
+        config.clock_sync_period_s = 10.0;  // sparser than the paper's 5 s
+        config.latency_compensation_s = 0.0;  // uncompensated one-way delay
+        config.link.jitter_s = 0.02;
+        // Hold-back must exceed the 0.25 s transmit spacing to actually
+        // invert delivery order (and regress controller-side timestamps).
+        config.link.reorder_rate = 0.05;
+        config.link.reorder_delay_s = 0.4;
+        return config;
+      });
+
+  register_scenario(
+      "degraded_flap", "forced degraded-mode flapping on the serving tier",
+      [](int sessions, std::uint64_t seed) {
+        ScenarioConfig config =
+            base_config("degraded_flap", sessions, seed);
+        config.imu_ensemble = true;
+        config.degraded_flap_period_s = 1.0;
+        return config;
+      });
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> catalogue = build_catalogue();
+  return catalogue;
+}
+
+void set_duration(ScenarioConfig& config, double duration_s) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("set_duration: duration must be > 0");
+  }
+  const double ratio = duration_s / config.duration_s;
+  config.duration_s = duration_s;
+  config.load.burst_start_s *= ratio;
+  config.load.burst_end_s *= ratio;
+  config.load.diurnal_period_s *= ratio;
+  config.join_spread_s *= ratio;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const auto& scenario : scenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+}  // namespace darnet::sim

@@ -1,0 +1,133 @@
+#include "sim/vehicle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+#include "collection/sensor.hpp"
+#include "util/rng.hpp"
+
+namespace darnet::sim {
+
+double LoadCurve::factor(SimTime t) const noexcept {
+  switch (kind) {
+    case Kind::kConstant:
+      return 1.0;
+    case Kind::kBurst:
+      return (t >= burst_start_s && t < burst_end_s) ? burst_factor : 1.0;
+    case Kind::kDiurnal: {
+      const double mid = 0.5 * (diurnal_min + diurnal_max);
+      const double amp = 0.5 * (diurnal_max - diurnal_min);
+      const double phase = 2.0 * std::numbers::pi * t / diurnal_period_s;
+      // Trough at t = 0 (night), peak half a period in (rush hour).
+      return mid - amp * std::cos(phase);
+    }
+  }
+  return 1.0;
+}
+
+namespace {
+
+/// A sensor whose effective polling period follows the scenario's load
+/// curve: the agent re-reads poll_period_s() when rescheduling each poll,
+/// so rate modulation takes effect one sample later -- no extra plumbing.
+class ModulatedSensor final : public collection::Sensor {
+ public:
+  using Sampler = std::function<std::vector<float>(SimTime)>;
+
+  ModulatedSensor(const Simulation& sim, std::string stream,
+                  double base_period_s, LoadCurve load, Sampler sampler)
+      : sim_(sim),
+        stream_(std::move(stream)),
+        base_period_s_(base_period_s),
+        load_(load),
+        sampler_(std::move(sampler)) {}
+
+  [[nodiscard]] const std::string& stream() const override { return stream_; }
+  std::vector<float> sample(SimTime now) override { return sampler_(now); }
+  [[nodiscard]] double poll_period_s() const override {
+    // Clamp the factor so a misconfigured curve can neither stall the
+    // sensor nor melt the event queue.
+    const double f = std::clamp(load_.factor(sim_.now()), 0.05, 100.0);
+    return base_period_s_ / f;
+  }
+
+ private:
+  const Simulation& sim_;
+  std::string stream_;
+  double base_period_s_;
+  LoadCurve load_;
+  Sampler sampler_;
+};
+
+}  // namespace
+
+VehicleAgent::VehicleAgent(Simulation& sim, VehicleConfig config,
+                           LoadCurve load)
+    : sim_(sim),
+      config_(config),
+      // Built via append (not `"v" + std::to_string(...)`: gcc 12's
+      // -Wrestrict misfires on front-insertion into the rvalue string).
+      frame_stream_(std::string("v").append(std::to_string(config.id))
+                        .append("/camera")),
+      imu_stream_(std::string("v").append(std::to_string(config.id))
+                      .append("/imu")),
+      uplink_(sim, config.uplink, config.seed ^ 0x9e3779b97f4a7c15ULL),
+      downlink_(sim, config.downlink, config.seed ^ 0xd1b54a32d192ed03ULL) {
+  if (config_.frame_period_s <= 0.0 || config_.imu_period_s <= 0.0 ||
+      config_.frame_payload_floats < 1 || config_.imu_channels < 1 ||
+      config_.start_s < 0.0) {
+    throw std::invalid_argument("VehicleAgent: invalid configuration");
+  }
+
+  collection::AgentConfig agent_config;
+  agent_config.agent_id = config_.id;
+  agent_config.transmit_period_s = config_.transmit_period_s;
+  agent_config.latency_compensation_s = config_.latency_compensation_s;
+  agent_config.clock_drift_ppm = config_.clock_drift_ppm;
+  agent_config.clock_initial_offset_s = config_.clock_initial_offset_s;
+  agent_ = std::make_unique<collection::CollectionAgent>(sim_, agent_config,
+                                                         uplink_);
+
+  // Scripted traffic: the camera emits a frame-payload vector, the IMU a
+  // per-channel gaussian tuple. Content is deterministic per vehicle seed;
+  // the serving bridge reads a fixed prefix as the model input.
+  util::Rng seeder(config_.seed);
+  auto frame_rng = std::make_shared<util::Rng>(seeder.fork());
+  const int frame_floats = config_.frame_payload_floats;
+  agent_->add_sensor(std::make_unique<ModulatedSensor>(
+      sim_, frame_stream_, config_.frame_period_s, load,
+      [frame_rng, frame_floats](SimTime) {
+        std::vector<float> values(static_cast<std::size_t>(frame_floats));
+        for (auto& v : values) {
+          v = static_cast<float>(frame_rng->uniform());
+        }
+        return values;
+      }));
+  auto imu_rng = std::make_shared<util::Rng>(seeder.fork());
+  const int channels = config_.imu_channels;
+  agent_->add_sensor(std::make_unique<ModulatedSensor>(
+      sim_, imu_stream_, config_.imu_period_s, load,
+      [imu_rng, channels](SimTime) {
+        std::vector<float> values(static_cast<std::size_t>(channels));
+        for (auto& v : values) {
+          v = static_cast<float>(imu_rng->gaussian(0.0, 1.0));
+        }
+        return values;
+      }));
+}
+
+void VehicleAgent::schedule_lifecycle() {
+  if (scheduled_) {
+    throw std::logic_error("VehicleAgent::schedule_lifecycle: called twice");
+  }
+  scheduled_ = true;
+  sim_.schedule(config_.start_s, [this] { agent_->start(); });
+  if (config_.stop_s >= 0.0) {
+    sim_.schedule(config_.stop_s, [this] { agent_->stop(); });
+  }
+}
+
+}  // namespace darnet::sim

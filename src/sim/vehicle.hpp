@@ -1,0 +1,107 @@
+// A simulated vehicle: one scripted collection deployment.
+//
+// Each VehicleAgent owns a drifting-clock CollectionAgent (the paper's
+// per-device module), a camera sensor and an IMU sensor whose polling
+// rates are modulated by the scenario's load curve, and the pair of
+// virtual links that carry its traffic to and from the centralized
+// controller. The fleet simulator (sim/fleet.hpp) wires thousands of
+// these onto one controller + serve::Server and drives them from a single
+// deterministic event queue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "collection/agent.hpp"
+#include "sim/link.hpp"
+#include "sim/queue.hpp"
+
+namespace darnet::sim {
+
+/// Time-varying traffic multiplier: scales sensor polling and inference
+/// rates over the run. Drives the burst and diurnal scenarios.
+struct LoadCurve {
+  enum class Kind { kConstant, kBurst, kDiurnal };
+  Kind kind = Kind::kConstant;
+  /// kBurst: rate multiplier inside [burst_start_s, burst_end_s).
+  double burst_factor = 10.0;
+  double burst_start_s = 0.0;
+  double burst_end_s = 0.0;
+  /// kDiurnal: sinusoid between diurnal_min and diurnal_max with the
+  /// given period (a compressed day).
+  double diurnal_min = 0.25;
+  double diurnal_max = 2.0;
+  double diurnal_period_s = 60.0;
+
+  /// Multiplier at time `t` (always > 0 for valid configs).
+  [[nodiscard]] double factor(SimTime t) const noexcept;
+};
+
+struct VehicleConfig {
+  std::uint32_t id{0};
+  std::uint64_t seed{1};
+  /// Lifecycle: the agent starts at start_s and (churn scenarios) stops
+  /// at stop_s; stop_s < 0 means it runs to the end of the scenario.
+  double start_s = 0.0;
+  double stop_s = -1.0;
+  /// Native sensor periods at load factor 1.0.
+  double frame_period_s = 0.25;
+  double imu_period_s = 0.05;
+  /// Frame payload size in floats (the wire bytes that stress bandwidth;
+  /// the analytics model reads a fixed-size prefix).
+  int frame_payload_floats = 64;
+  int imu_channels = 3;
+  /// Collection-agent knobs (see collection::AgentConfig).
+  double transmit_period_s = 0.25;
+  double latency_compensation_s = 0.015;
+  double clock_drift_ppm = 0.0;
+  double clock_initial_offset_s = 0.0;
+  LinkConfig uplink;
+  LinkConfig downlink;
+};
+
+class VehicleAgent {
+ public:
+  VehicleAgent(Simulation& sim, VehicleConfig config, LoadCurve load);
+
+  /// Schedule the agent's start (and, for churn, stop) on the event
+  /// queue. Call once, after both links have receivers attached.
+  void schedule_lifecycle();
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return config_.id; }
+  [[nodiscard]] bool active(SimTime t) const noexcept {
+    return t >= config_.start_s &&
+           (config_.stop_s < 0.0 || t < config_.stop_s);
+  }
+
+  [[nodiscard]] VirtualLink& uplink() noexcept { return uplink_; }
+  [[nodiscard]] VirtualLink& downlink() noexcept { return downlink_; }
+  [[nodiscard]] collection::CollectionAgent& agent() noexcept {
+    return *agent_;
+  }
+  [[nodiscard]] const collection::CollectionAgent& agent() const noexcept {
+    return *agent_;
+  }
+  [[nodiscard]] const VehicleConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::string& frame_stream() const noexcept {
+    return frame_stream_;
+  }
+  [[nodiscard]] const std::string& imu_stream() const noexcept {
+    return imu_stream_;
+  }
+
+ private:
+  Simulation& sim_;
+  VehicleConfig config_;
+  std::string frame_stream_;
+  std::string imu_stream_;
+  VirtualLink uplink_;
+  VirtualLink downlink_;
+  std::unique_ptr<collection::CollectionAgent> agent_;
+  bool scheduled_{false};
+};
+
+}  // namespace darnet::sim

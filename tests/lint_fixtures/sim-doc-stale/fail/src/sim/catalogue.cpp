@@ -1,0 +1,14 @@
+// Fixture: registered scenario with no docs/SIMULATION.md catalogue row.
+#include <string>
+#include <vector>
+
+struct Scenario {
+  std::string name;
+};
+
+void build(std::vector<Scenario>& out) {
+  const auto register_scenario = [&out](const char* name) {
+    out.push_back(Scenario{name});
+  };
+  register_scenario("fix_steady");
+}

@@ -18,6 +18,14 @@
 #            observability on) and run it with DARNET_OBS_DUMP set,
 #            asserting it exits 0 and writes a non-empty metrics.json --
 #            the end-to-end proof that the serve/* instrumentation flows
+#   sim-smoke
+#            fleet-simulator smoke: build tools/sim/fleet_simulator
+#            (Release, observability on) and run the steady scenario at
+#            100 sessions with DARNET_OBS_DUMP set, asserting exit 0, a
+#            non-empty deterministic metrics export, and sim/* + serve/*
+#            names in the registry snapshot -- the end-to-end proof that
+#            the simulated fleet drives the production serving stack
+#            (docs/SIMULATION.md)
 #   sync-stress
 #            concurrency-correctness stress: Debug + ThreadSanitizer with
 #            DARNET_CHECKED=ON explicit, building only the lock-heavy
@@ -63,8 +71,8 @@ ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
-ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sync-stress
-          analyze bench-smoke)
+ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sim-smoke
+          sync-stress analyze bench-smoke)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -140,6 +148,58 @@ run_serve_smoke() {
   return 0
 }
 
+# sim-smoke leg: the fleet simulator end to end. Build fleet_simulator in
+# a Release + observability configuration, run the steady scenario at 100
+# sessions, and assert it exits 0, writes a non-empty metrics export, and
+# pushes sim/* and serve/* names through the obs registry.
+run_sim_smoke() {
+  leg_dir="${BUILD_ROOT}/sim-smoke"
+  echo
+  echo "=== [sim-smoke] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON \
+       -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=ON; then
+    FAILED+=("sim-smoke (configure)")
+    return 1
+  fi
+  echo "=== [sim-smoke] build fleet_simulator (-j${JOBS}) ==="
+  if ! cmake --build "${leg_dir}" -j "${JOBS}" --target fleet_simulator; then
+    FAILED+=("sim-smoke (build)")
+    return 1
+  fi
+  echo "=== [sim-smoke] smoke ==="
+  sim_dir="$(mktemp -d)"
+  if ! DARNET_OBS_DUMP="${sim_dir}" \
+       "${leg_dir}/tools/sim/fleet_simulator" --scenario=steady \
+       --sessions=100 --out="${sim_dir}/fleet.json"; then
+    echo "fleet_simulator exited nonzero" >&2
+    rm -rf "${sim_dir}"
+    FAILED+=("sim-smoke (run)")
+    return 1
+  fi
+  if ! [ -s "${sim_dir}/fleet.json" ]; then
+    echo "fleet_simulator wrote no metrics export" >&2
+    rm -rf "${sim_dir}"
+    FAILED+=("sim-smoke (metrics export)")
+    return 1
+  fi
+  if ! grep -q '"latency_ms"' "${sim_dir}/fleet.json"; then
+    echo "fleet.json has no latency_ms section" >&2
+    rm -rf "${sim_dir}"
+    FAILED+=("sim-smoke (metrics export)")
+    return 1
+  fi
+  if ! grep -q 'sim/' "${sim_dir}/metrics.json" || \
+     ! grep -q 'serve/' "${sim_dir}/metrics.json"; then
+    echo "obs registry snapshot lacks sim/* or serve/* names" >&2
+    rm -rf "${sim_dir}"
+    FAILED+=("sim-smoke (obs registry)")
+    return 1
+  fi
+  rm -rf "${sim_dir}"
+  PASSED+=("sim-smoke")
+  return 0
+}
+
 # bench-smoke leg: the bench tree must build and every harness must run
 # end to end. Experiment harnesses take their cheapest argv scale and may
 # miss their full-scale qualitative gates (exit 1); anything beyond that
@@ -193,6 +253,9 @@ run_bench_smoke() {
       bench_ablation_drivers)    args="0.01";  ok_status="0 1" ;;
       bench_ablation_pretrain)   args="0.002"; ok_status="0 1" ;;
       bench_ext_multimodal)      args="0.01";  ok_status="0 1" ;;
+      # Fleet simulator sweep: 10 sessions max, JSON to /dev/null; the
+      # determinism + shape gates must hold even at smoke scale.
+      bench_fleet)               args="10 /dev/null"; ok_status="0" ;;
       *)                         args="";      ok_status="0 1" ;;
     esac
     # shellcheck disable=SC2086
@@ -301,6 +364,9 @@ for leg in "${LEGS[@]}"; do
       ;;
     serve)
       run_serve_smoke
+      ;;
+    sim-smoke)
+      run_sim_smoke
       ;;
     sync-stress)
       run_sync_stress

@@ -46,6 +46,13 @@
 //                    checked contract, not a best-effort narrative
 //   obs-doc-stale    every name documented in docs/OBSERVABILITY.md must
 //                    still be registered somewhere in src/
+//   sim-doc-missing  every scenario registered in src/sim/ (a
+//                    register_scenario("name", ...) call) must have a
+//                    catalogue table row between the scenarios:begin/end
+//                    markers in docs/SIMULATION.md -- the scenario
+//                    methodology doc is a checked contract too
+//   sim-doc-stale    every scenario documented in that catalogue table
+//                    must still be registered in src/sim/
 //   serve-bounded-queue
 //                    inside src/serve/, every member push/emplace into an
 //                    identifier containing "queue" must have a capacity
@@ -339,6 +346,7 @@ struct Linter {
   fs::path root;
   std::vector<Finding> findings;
   std::vector<ObsUse> obs_uses;
+  std::vector<ObsUse> scenario_uses;  // register_scenario("name", ...) sites
 
   void report(const fs::path& file, std::size_t line, std::string rule,
               std::string message) {
@@ -740,6 +748,24 @@ struct Linter {
                      });
     }
 
+    // Scenario-catalogue contract extraction: every
+    // `register_scenario("name", ...)` call in src/sim/ names a scenario
+    // that docs/SIMULATION.md must document (and vice versa). The
+    // definition site (`const auto register_scenario = [...]`) is not
+    // followed by '(' + string, so only call sites are collected.
+    if (rel.starts_with("src/sim/")) {
+      const auto& toks = lexed.tokens;
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (analyze::is_ident(toks[i], "register_scenario") &&
+            analyze::is_punct(toks[i + 1], "(") &&
+            toks[i + 2].kind == analyze::Tok::kString) {
+          scenario_uses.push_back(ObsUse{
+              toks[i + 2].text, rel,
+              static_cast<std::size_t>(toks[i].line)});
+        }
+      }
+    }
+
     // Observability contract extraction: collect every metric/span name
     // registered through the DARNET_* macros in src/. src/obs/ is skipped
     // (it defines the macros; it registers nothing itself).
@@ -852,6 +878,69 @@ struct Linter {
     }
   }
 
+  /// Cross-checks the scenarios registered in src/sim/ against the
+  /// catalogue table in docs/SIMULATION.md (the rows between the
+  /// `<!-- scenarios:begin -->` / `<!-- scenarios:end -->` markers; the
+  /// first backticked token on each row is the scenario name). Both
+  /// directions are enforced: an undocumented scenario and a documented
+  /// ghost each fail the lint.
+  void check_sim_contract() {
+    const fs::path doc_path = root / "docs" / "SIMULATION.md";
+    std::ifstream in(doc_path, std::ios::binary);
+    if (!in) {
+      if (!scenario_uses.empty()) {
+        report(doc_path, 0, "sim-doc-missing",
+               "docs/SIMULATION.md does not exist but " +
+                   std::to_string(scenario_uses.size()) +
+                   " scenario registration(s) were found in src/sim/");
+      }
+      return;
+    }
+
+    std::map<std::string, std::size_t> documented;  // name -> first line
+    std::string line_text;
+    std::size_t line_no = 0;
+    bool in_catalogue = false;
+    while (std::getline(in, line_text)) {
+      ++line_no;
+      if (line_text.find("<!-- scenarios:begin -->") != std::string::npos) {
+        in_catalogue = true;
+        continue;
+      }
+      if (line_text.find("<!-- scenarios:end -->") != std::string::npos) {
+        in_catalogue = false;
+        continue;
+      }
+      if (!in_catalogue) continue;
+      const std::size_t first = line_text.find_first_not_of(" \t");
+      if (first == std::string::npos || line_text[first] != '|') continue;
+      const std::size_t tick = line_text.find('`');
+      if (tick == std::string::npos) continue;
+      const std::size_t end = line_text.find('`', tick + 1);
+      if (end == std::string::npos) continue;
+      const std::string name = line_text.substr(tick + 1, end - tick - 1);
+      if (!name.empty()) documented.emplace(name, line_no);
+    }
+
+    std::set<std::string> registered;
+    for (const ObsUse& use : scenario_uses) {
+      registered.insert(use.name);
+      if (!documented.contains(use.name)) {
+        report(root / use.file, use.line, "sim-doc-missing",
+               "scenario '" + use.name +
+                   "' is registered here but has no catalogue row between "
+                   "the scenarios:begin/end markers in docs/SIMULATION.md");
+      }
+    }
+    for (const auto& [name, doc_line] : documented) {
+      if (!registered.contains(name)) {
+        report(doc_path, doc_line, "sim-doc-stale",
+               "documented scenario '" + name +
+                   "' is not registered anywhere in src/sim/");
+      }
+    }
+  }
+
   void run() {
     for (const char* top : {"src", "tests", "bench", "examples", "tools"}) {
       const fs::path dir = root / top;
@@ -870,6 +959,7 @@ struct Linter {
       }
     }
     check_obs_contract();
+    check_sim_contract();
   }
 };
 

@@ -1,0 +1,162 @@
+// fleet_simulator: run a named fleet scenario and export its metrics.
+//
+// The scenario engine behind ROADMAP item 1: thousands of simulated
+// vehicles stream frame+IMU traffic through the collection middleware
+// into the serving tier on one deterministic event queue. Same seed =>
+// bit-identical metrics export (see docs/SIMULATION.md).
+//
+// Usage:
+//   fleet_simulator [--scenario=NAME] [--sessions=N] [--seed=S]
+//                   [--duration=SECONDS] [--out=PATH] [--list]
+//
+//   --scenario=NAME   scenario to run (default: steady); see --list
+//   --sessions=N      fleet size (default: 100)
+//   --seed=S          master seed (default: 42)
+//   --duration=SECS   re-time the scenario (burst windows etc. scale)
+//   --out=PATH        write the metrics JSON there ("-" = stdout only)
+//   --list            print the scenario catalogue and exit
+//
+// With DARNET_OBS_DUMP=<dir> the process-wide obs registry snapshot and
+// trace are written there too (sim/* and serve/* metrics included).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "sim/fleet.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout
+      << "usage: fleet_simulator [--scenario=NAME] [--sessions=N] "
+         "[--seed=S]\n"
+         "                       [--duration=SECONDS] [--out=PATH] "
+         "[--list]\n";
+}
+
+void print_catalogue() {
+  std::cout << "scenario        what it stresses\n";
+  for (const auto& scenario : darnet::sim::scenarios()) {
+    std::printf("%-15s %s\n", scenario.name.c_str(),
+                scenario.stresses.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace darnet;
+
+  std::string scenario_name = "steady";
+  std::string out_path;
+  int sessions = 100;
+  std::uint64_t seed = 42;
+  double duration_s = -1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg]() -> std::string {
+      const auto pos = arg.find('=');
+      return pos == std::string::npos ? std::string() : arg.substr(pos + 1);
+    };
+    if (arg == "--list") {
+      print_catalogue();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg.rfind("--scenario=", 0) == 0) {
+      scenario_name = value();
+    } else if (arg.rfind("--sessions=", 0) == 0) {
+      sessions = std::atoi(value().c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      duration_s = std::atof(value().c_str());
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = value();
+    } else {
+      std::cerr << "fleet_simulator: unknown argument '" << arg << "'\n";
+      print_usage();
+      return 2;
+    }
+  }
+  if (sessions < 1) {
+    std::cerr << "fleet_simulator: --sessions must be >= 1\n";
+    return 2;
+  }
+
+  const sim::Scenario* scenario = sim::find_scenario(scenario_name);
+  if (scenario == nullptr) {
+    std::cerr << "fleet_simulator: unknown scenario '" << scenario_name
+              << "'\n\n";
+    print_catalogue();
+    return 2;
+  }
+
+  sim::ScenarioConfig config = scenario->make(sessions, seed);
+  if (duration_s > 0.0) sim::set_duration(config, duration_s);
+
+  std::cout << "scenario=" << config.name << " sessions=" << config.sessions
+            << " seed=" << config.seed << " duration=" << config.duration_s
+            << "s\n";
+
+  sim::FleetSimulator fleet(config);
+  fleet.run();
+  const std::string json = fleet.metrics_json();
+
+  const sim::FleetReport& report = fleet.report();
+  std::printf(
+      "events=%llu requests=%llu served=%llu timeouts=%llu skipped=%llu "
+      "degraded=%llu\n"
+      "latency_ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+      "link sent=%llu dropped=%llu reordered=%llu out_of_order=%llu "
+      "oos_readings=%llu\n"
+      "clock |err| mean=%.3fms max=%.3fms over %llu probes\n",
+      static_cast<unsigned long long>(report.events_executed),
+      static_cast<unsigned long long>(report.requests),
+      static_cast<unsigned long long>(report.served),
+      static_cast<unsigned long long>(report.timeouts),
+      static_cast<unsigned long long>(report.skipped),
+      static_cast<unsigned long long>(report.degraded),
+      report.latency_p50_ms, report.latency_p90_ms, report.latency_p99_ms,
+      report.latency_max_ms,
+      static_cast<unsigned long long>(report.messages_sent),
+      static_cast<unsigned long long>(report.messages_dropped),
+      static_cast<unsigned long long>(report.messages_reordered),
+      static_cast<unsigned long long>(report.messages_out_of_order),
+      static_cast<unsigned long long>(report.out_of_sequence),
+      report.clock_mean_abs_error_ms, report.clock_max_abs_error_ms,
+      static_cast<unsigned long long>(report.clock_probes));
+
+  if (out_path.empty() || out_path == "-") {
+    std::cout << json;
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      std::cerr << "fleet_simulator: cannot write '" << out_path << "'\n";
+      return 1;
+    }
+    file << json;
+    std::cout << "metrics: " << out_path << "\n";
+  }
+
+  // Observability dump: sim/* and serve/* flow through the process-wide
+  // registry exactly like the production servers.
+  if (const char* dump = std::getenv("DARNET_OBS_DUMP");
+      dump != nullptr && *dump != '\0' && obs::enabled()) {
+    const std::string dir(dump);
+    obs::registry().write_json(dir + "/metrics.json");
+    obs::write_trace(dir + "/trace.json");
+    std::cout << "obs dump: " << dir << "/metrics.json, " << dir
+              << "/trace.json\n";
+  }
+
+  return report.requests > 0 ? 0 : 1;
+}
