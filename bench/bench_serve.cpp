@@ -82,7 +82,7 @@ double throughput_rps(const std::shared_ptr<engine::EnsembleClassifier>& e,
                       const Inputs& inputs, int max_batch) {
   double best = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
-    serve::ServerConfig config;
+    serve::ShardConfig config;
     config.max_batch = max_batch;
     config.max_delay_us = 0;  // saturation: flush as fast as possible
     config.queue_capacity = kRequests;
@@ -140,7 +140,7 @@ struct OpenLoop {
 OpenLoop open_loop_latency(
     const std::shared_ptr<engine::EnsembleClassifier>& e,
     const Inputs& inputs) {
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 8;
   config.queue_capacity = kRequests;
   config.max_delay_us = kMaxDelayUs;

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   auto ensemble = std::make_shared<engine::EnsembleClassifier>(
       frame_model, nullptr, bayes::ClassMap::darnet_default());
 
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 8;
   config.max_delay_us = 1000;
   config.queue_capacity = 128;

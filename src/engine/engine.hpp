@@ -2,23 +2,18 @@
 // data streams and machine-learning models, with ensemble combination of
 // the per-modality outputs into one classification.
 //
-// API shape (PR 4 redesign):
+// API shape (PR 4 redesign, shims removed in PR 9):
 //   * Ownership is explicit. The classifier adapters and the ensemble hold
 //     `std::shared_ptr`s to their models; callers that keep owning the
-//     model elsewhere can pass a non-owning handle via `engine::borrow`.
-//     The old reference/raw-pointer constructors remain as thin deprecated
-//     shims (they borrow), but are compiled out unless
-//     DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS is defined. Tests receive the
-//     gate from CMake (darnet_test()); everything else must use the
-//     owning constructors / engine::borrow, and darnet_lint
-//     (engine-deprecated-shim) rejects any attempt to re-enable the gate
-//     outside src/engine/.
+//     model elsewhere pass a non-owning handle via `engine::borrow`. The
+//     historical reference/raw-pointer shim constructors are gone; the
+//     gate token that used to enable them is banned tree-wide by
+//     darnet_lint (engine-deprecated-shim).
 //   * Requests and results are value types. `ClassifyRequest` carries a
-//     session id, a deadline and the two modality tensors;
+//     session id, a tenant id (the multi-tenant admission key the router
+//     meters quotas on), a deadline and the two modality tensors;
 //     `ClassifyResult` carries the smoothed per-session verdict, measured
-//     latency and whether the degraded path served it. The raw
-//     Tensor-in/Tensor-out `classify` remains as a deprecated shim over
-//     the batched entry point `classify_batch`, behind the same gate.
+//     latency and whether the degraded path served it.
 //   * Batched entry points (`classify_batch`, `classify_batch_degraded`)
 //     are the primitives the serving tier (src/serve) coalesces
 //     micro-batches onto.
@@ -71,12 +66,6 @@ class NeuralClassifier final : public ProbabilisticClassifier {
   NeuralClassifier(std::shared_ptr<nn::Layer> model, int num_classes,
                    std::string label);
 
-#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
-  /// Deprecated borrowing shim: `model` must outlive the classifier.
-  NeuralClassifier(nn::Layer& model, int num_classes, std::string label)
-      : NeuralClassifier(borrow(model), num_classes, std::move(label)) {}
-#endif
-
   [[nodiscard]] Tensor probabilities(const Tensor& inputs) override;
   [[nodiscard]] int num_classes() const override { return classes_; }
   [[nodiscard]] std::string describe() const override { return label_; }
@@ -91,12 +80,6 @@ class NeuralClassifier final : public ProbabilisticClassifier {
 class SvmClassifier final : public ProbabilisticClassifier {
  public:
   explicit SvmClassifier(std::shared_ptr<svm::LinearSvm> model);
-
-#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
-  /// Deprecated borrowing shim: `model` must outlive the classifier.
-  explicit SvmClassifier(svm::LinearSvm& model)
-      : SvmClassifier(borrow(model)) {}
-#endif
 
   [[nodiscard]] Tensor probabilities(const Tensor& inputs) override;
   [[nodiscard]] int num_classes() const override {
@@ -116,8 +99,12 @@ enum class ArchitectureKind { kCnnOnly, kCnnSvm, kCnnRnn };
 /// the serving tier: which driver session it belongs to, when the answer
 /// stops being useful, and the two modality tensors ([1, ...] each).
 struct ClassifyRequest {
-  /// Stable per-driver session identifier (smoothing state key).
+  /// Stable per-driver session identifier (smoothing state key; also the
+  /// consistent-hash routing key in the sharded tier -- serve::Router).
   std::uint64_t session_id{0};
+  /// Admission-control tenant (fleet operator / API customer). The router
+  /// meters per-tenant quotas on it; 0 is the anonymous default tenant.
+  std::uint64_t tenant_id{0};
   /// Absolute steady-clock deadline; requests still queued past it are
   /// completed with a timeout verdict instead of being served.
   std::chrono::steady_clock::time_point deadline{
@@ -147,19 +134,6 @@ class EnsembleClassifier {
                      std::shared_ptr<ProbabilisticClassifier> imu_model,
                      bayes::ClassMap class_map);
 
-#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
-  /// Deprecated borrowing shim: models are caller-owned and must outlive
-  /// the ensemble (the historical contract, now explicit via borrow()).
-  EnsembleClassifier(ProbabilisticClassifier& frame_model,
-                     ProbabilisticClassifier* imu_model,
-                     bayes::ClassMap class_map)
-      : EnsembleClassifier(
-            borrow(frame_model),
-            imu_model ? borrow(*imu_model)
-                      : std::shared_ptr<ProbabilisticClassifier>(),
-            std::move(class_map)) {}
-#endif
-
   /// Fit the combiner CPTs on training-set outputs. No-op for CNN-only.
   void fit(const Tensor& frames, const Tensor& imu_windows,
            std::span<const int> labels);
@@ -186,14 +160,6 @@ class EnsembleClassifier {
   [[nodiscard]] ClassifyResult classify(const ClassifyRequest& request,
                                         SessionState& session,
                                         const StreamingConfig& config);
-
-#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
-  /// Deprecated shim: raw Tensor-in/Tensor-out surface (== classify_batch).
-  [[nodiscard]] Tensor classify(const Tensor& frames,
-                                const Tensor& imu_windows) {
-    return classify_batch(frames, imu_windows);
-  }
-#endif
 
   [[nodiscard]] std::vector<int> predict(const Tensor& frames,
                                          const Tensor& imu_windows);
@@ -227,14 +193,6 @@ class AnalyticsEngine {
   /// Shares ownership of the model.
   void register_stream(const std::string& stream,
                        std::shared_ptr<ProbabilisticClassifier> model);
-
-#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
-  /// Deprecated borrowing shim: `model` must outlive the registry.
-  void register_stream(const std::string& stream,
-                       ProbabilisticClassifier& model) {
-    register_stream(stream, borrow(model));
-  }
-#endif
 
   [[nodiscard]] bool has_stream(const std::string& stream) const;
   [[nodiscard]] ProbabilisticClassifier& model_for(const std::string& stream);

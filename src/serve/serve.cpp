@@ -55,8 +55,8 @@ const char* status_name(Status status) noexcept {
 }
 
 Server::Server(std::shared_ptr<engine::EnsembleClassifier> ensemble,
-               ServerConfig config)
-    : ensemble_(std::move(ensemble)), config_(config) {
+               ShardConfig config)
+    : config_(config), ensemble_(std::move(ensemble)) {
   if (!ensemble_) {
     throw std::invalid_argument("serve::Server: ensemble must not be null");
   }
@@ -164,6 +164,7 @@ void Server::worker_loop() {
     std::uint64_t ticket = 0;
     bool degraded = false;
     bool more = false;
+    std::shared_ptr<engine::EnsembleClassifier> ensemble;
     {
       sync::UniqueLock lock(mu_);
       // Batch-formation policy: flush once `max_batch` requests are queued
@@ -219,18 +220,23 @@ void Server::worker_loop() {
       }
       ticket = next_ticket_++;
       more = !queue_.empty();
+      // RCU read side: snapshot the served replica under mu_; the whole
+      // batch (gather, fused pass, scatter) runs on this snapshot even if
+      // swap_ensemble() flips the pointer mid-flight.
+      ensemble = ensemble_;
       DARNET_GAUGE_SET("serve/queue_depth",
                        static_cast<std::int64_t>(queue_.size()));
     }
     if (more) work_cv_.notify_one();
 
     execute_batch(std::move(batch), ticket,
-                  degraded && ensemble_->can_degrade());
+                  degraded && ensemble->can_degrade(), ensemble);
   }
 }
 
-void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
-                           bool degraded) {
+void Server::execute_batch(
+    std::vector<Pending> batch, std::uint64_t ticket, bool degraded,
+    const std::shared_ptr<engine::EnsembleClassifier>& ensemble) {
   DARNET_SPAN("serve/execute_batch");
 
   // Deadline triage: requests already past their deadline get a timeout
@@ -263,7 +269,7 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
       std::vector<Tensor> frames;
       std::vector<Tensor> imu;
       frames.reserve(live.size());
-      const bool want_imu = ensemble_->has_imu_model();
+      const bool want_imu = ensemble->has_imu_model();
       if (want_imu) imu.reserve(live.size());
       for (auto& pending : live) {
         frames.push_back(std::move(pending.request.frame));
@@ -274,8 +280,8 @@ void Server::execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
       sync::Lock exec(exec_mu_);
       DARNET_TIMER("serve/batch_execute_ns");
       fused = degraded
-                  ? ensemble_->classify_batch_degraded(frame_batch, imu_batch)
-                  : ensemble_->classify_batch(frame_batch, imu_batch);
+                  ? ensemble->classify_batch_degraded(frame_batch, imu_batch)
+                  : ensemble->classify_batch(frame_batch, imu_batch);
     } catch (...) {
       error = std::current_exception();
     }
@@ -396,6 +402,28 @@ void Server::force_degraded(std::optional<bool> forced) {
   // Wake any worker parked on batch formation so the new mode applies to
   // the next batch it cuts.
   work_cv_.notify_all();
+}
+
+std::shared_ptr<engine::EnsembleClassifier> Server::swap_ensemble(
+    std::shared_ptr<engine::EnsembleClassifier> next) {
+  if (!next) {
+    throw std::invalid_argument(
+        "serve::Server::swap_ensemble: ensemble must not be null");
+  }
+  std::shared_ptr<engine::EnsembleClassifier> previous;
+  {
+    sync::Lock lock(mu_);
+    previous = std::move(ensemble_);
+    ensemble_ = std::move(next);
+    ++stats_.ensemble_swaps;
+  }
+  DARNET_COUNTER_ADD("serve/ensemble_swaps_total", 1);
+  return previous;
+}
+
+std::shared_ptr<engine::EnsembleClassifier> Server::ensemble() const {
+  sync::Lock lock(mu_);
+  return ensemble_;
 }
 
 engine::SessionState Server::session(std::uint64_t session_id) const {

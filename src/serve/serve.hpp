@@ -96,7 +96,11 @@ struct Response {
   engine::ClassifyResult result;
 };
 
-struct ServerConfig {
+/// Per-shard serving parameters: everything one micro-batching Server
+/// needs. Router-level policy (shard count, hash ring, per-tenant quotas,
+/// snapshot versioning) lives in serve::RouterConfig (router.hpp) -- the
+/// PR-9 redesign split the old monolithic ServerConfig along that seam.
+struct ShardConfig {
   /// Flush a batch once this many requests are queued.
   int max_batch = 8;
   /// ... or once the oldest queued request has waited this long.
@@ -142,7 +146,7 @@ class Server {
   /// DarNet::ensemble_ptr). The ensemble must already be fitted if
   /// degraded mode is to use the IMU path.
   Server(std::shared_ptr<engine::EnsembleClassifier> ensemble,
-         ServerConfig config);
+         ShardConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -151,9 +155,23 @@ class Server {
   [[nodiscard]] Submission submit(engine::ClassifyRequest request);
 
   /// Stop admitting, flush every queued request, join the workers. After
-  /// drain() returns no future is pending and submit() rejects.
+  /// drain() returns, no future is pending and every subsequent submit()
+  /// returns Admit::kRejected (its future resolves to Status::kRejected).
   /// Idempotent.
   void drain();
+
+  /// RCU-style hot swap: atomically replace the served ensemble with
+  /// `next` (same architecture, presumably freshly-trained weights) and
+  /// return the replica it replaced. In-flight batches finish on the
+  /// replica they snapshotted at batch formation -- the flip drops no
+  /// request and stalls no worker -- and per-session streaming state
+  /// (EWMA + debounce) is untouched, so sessions whose weights did not
+  /// change see bit-identical verdict streams across the swap.
+  std::shared_ptr<engine::EnsembleClassifier> swap_ensemble(
+      std::shared_ptr<engine::EnsembleClassifier> next);
+
+  /// The ensemble currently being served (consistent snapshot).
+  [[nodiscard]] std::shared_ptr<engine::EnsembleClassifier> ensemble() const;
 
   /// Aggregate counters (consistent snapshot).
   struct Stats {
@@ -166,6 +184,7 @@ class Server {
     std::uint64_t batches{0};
     std::uint64_t degraded_batches{0};
     std::uint64_t batched_rows{0};
+    std::uint64_t ensemble_swaps{0};
   };
   [[nodiscard]] Stats stats() const;
 
@@ -181,7 +200,7 @@ class Server {
   /// Copy of a session's streaming state (default-constructed when the
   /// session has never been served).
   [[nodiscard]] engine::SessionState session(std::uint64_t session_id) const;
-  [[nodiscard]] const ServerConfig& config() const noexcept {
+  [[nodiscard]] const ShardConfig& config() const noexcept {
     return config_;
   }
 
@@ -194,7 +213,9 @@ class Server {
 
   void worker_loop();
   void execute_batch(std::vector<Pending> batch, std::uint64_t ticket,
-                     bool degraded);
+                     bool degraded,
+                     const std::shared_ptr<engine::EnsembleClassifier>&
+                         ensemble);
   // Resolves a request's promise. REQUIRES: mu_ free (promise
   // continuations must never run under the admission lock).
   void complete(Pending& pending, Response response);
@@ -202,8 +223,7 @@ class Server {
   [[nodiscard]] std::chrono::steady_clock::time_point clock_now()
       const noexcept;
 
-  const std::shared_ptr<engine::EnsembleClassifier> ensemble_;
-  const ServerConfig config_;
+  const ShardConfig config_;
 
   // Lock hierarchy (DESIGN.md "Concurrency model"): mu_ -> exec_mu_ ->
   // apply_mu_. No method currently nests two of them, but the order graph
@@ -221,6 +241,13 @@ class Server {
   std::optional<bool> forced_degraded_ DARNET_GUARDED_BY(mu_);
   std::uint64_t next_ticket_ DARNET_GUARDED_BY(mu_){0};
   Stats stats_ DARNET_GUARDED_BY(mu_);
+  // The served ensemble, RCU-style: workers snapshot the shared_ptr at
+  // batch formation (under mu_) and run the whole batch on that replica;
+  // swap_ensemble() flips the pointer under the same lock. An in-flight
+  // batch keeps its replica alive through its own reference, so a swap
+  // never stalls on or disturbs running inference.
+  std::shared_ptr<engine::EnsembleClassifier> ensemble_
+      DARNET_GUARDED_BY(mu_);
 
   // Serialises fused passes: the underlying models keep forward caches,
   // so at most one batch may be inside the ensemble at a time.

@@ -132,21 +132,43 @@ FleetSimulator::FleetSimulator(ScenarioConfig config)
       config_.join_spread_s < 0.0) {
     throw std::invalid_argument("FleetSimulator: invalid churn config");
   }
+  if (config_.shards < 1 || config_.tenants < 1 ||
+      config_.tenant_refill_per_s < 0.0) {
+    throw std::invalid_argument("FleetSimulator: invalid sharding config");
+  }
 
   const bool with_imu =
       config_.imu_ensemble || config_.degraded_flap_period_s > 0.0;
   ensemble_ = build_ensemble(config_.seed, with_imu);
 
-  serve::ServerConfig server_config;
-  server_config.max_batch = 8;
-  server_config.max_delay_us = 0;
-  server_config.queue_capacity = 64;
-  server_config.workers = 1;
-  // The server lives and dies inside this object: sim_ (declared before
-  // server_) outlives it, so the raw back-pointer in VirtualTimeSource is
-  // safe.
-  server_config.time_source = std::make_shared<VirtualTimeSource>(sim_);
-  server_ = std::make_unique<serve::Server>(ensemble_, server_config);
+  serve::RouterConfig router_config;
+  router_config.shards = config_.shards;
+  router_config.shard.max_batch = 8;
+  router_config.shard.max_delay_us = 0;
+  router_config.shard.queue_capacity = 64;
+  router_config.shard.workers = 1;
+  // The router lives and dies inside this object: sim_ (declared before
+  // router_) outlives it, so the raw back-pointer in VirtualTimeSource is
+  // safe. Quota buckets refill from the same simulated clock.
+  router_config.shard.time_source = std::make_shared<VirtualTimeSource>(sim_);
+  if (config_.tenant_refill_per_s > 0.0) {
+    for (int t = 0; t < config_.tenants; ++t) {
+      router_config.quotas[static_cast<std::uint64_t>(t)] =
+          serve::TenantQuota{std::max(1.0, config_.tenant_burst),
+                            config_.tenant_refill_per_s};
+    }
+  }
+  // One replica per shard, every one rebuilt from the same seed:
+  // identical weights (any shard serves identical math) but distinct
+  // objects, as the router's snapshot contract requires.
+  serve::Router::Snapshot snapshot;
+  snapshot.version = 1;
+  snapshot.replicas.push_back(ensemble_);
+  for (int s = 1; s < config_.shards; ++s) {
+    snapshot.replicas.push_back(build_ensemble(config_.seed, with_imu));
+  }
+  router_ = std::make_unique<serve::Router>(std::move(snapshot),
+                                            std::move(router_config));
 
   collection::ControllerConfig controller_config;
   controller_config.clock_sync_period_s = config_.clock_sync_period_s;
@@ -203,7 +225,7 @@ FleetSimulator::FleetSimulator(ScenarioConfig config)
 
 FleetSimulator::~FleetSimulator() {
   // Workers read the VirtualTimeSource; stop them while sim_ is alive.
-  server_->drain();
+  router_->drain();
 }
 
 void FleetSimulator::wire_vehicle(std::size_t index) {
@@ -276,6 +298,8 @@ void FleetSimulator::infer_step(std::size_t index) {
 
   engine::ClassifyRequest request;
   request.session_id = static_cast<std::uint64_t>(index);
+  request.tenant_id = static_cast<std::uint64_t>(
+      index % static_cast<std::size_t>(config_.tenants));
   request.deadline =
       to_time_point(track.last_frame_ts + config_.deadline_budget_s);
   request.frame = Tensor::zeros({1, kFrameFeatures});
@@ -300,7 +324,7 @@ void FleetSimulator::infer_step(std::size_t index) {
   // Lockstep bridge: await the verdict inside this event, so at most one
   // request is ever in flight and the multi-threaded server resolves to a
   // deterministic sequence (docs/SIMULATION.md "Determinism contract").
-  auto submission = server_->submit(std::move(request));
+  auto submission = router_->submit(std::move(request));
   serve::Response response = submission.response.get();
   switch (response.status) {
     case serve::Status::kOk: {
@@ -362,13 +386,17 @@ void FleetSimulator::run() {
     const double half = 0.5 * config_.degraded_flap_period_s;
     bool force = true;
     for (double at = half; at < config_.duration_s; at += half) {
-      sim_.schedule(at, [this, force] { server_->force_degraded(force); });
+      sim_.schedule(at, [this, force] {
+        for (int s = 0; s < router_->shards(); ++s) {
+          router_->shard(s).force_degraded(force);
+        }
+      });
       force = !force;
     }
   }
 
   sim_.run_until(config_.duration_s);
-  server_->drain();
+  router_->drain();
   finalize_report();
 }
 
@@ -427,9 +455,12 @@ void FleetSimulator::finalize_report() {
                     : 0.0;
   report_.clock_max_abs_error_ms = clock_abs_error_max_ms_;
 
-  const serve::Server::Stats stats = server_->stats();
-  report_.batches = stats.batches;
-  report_.degraded_batches = stats.degraded_batches;
+  const serve::Router::Stats stats = router_->stats();
+  report_.quota_rejected = stats.quota_rejected;
+  for (const serve::Server::Stats& shard : stats.per_shard) {
+    report_.batches += shard.batches;
+    report_.degraded_batches += shard.degraded_batches;
+  }
 }
 
 std::string FleetSimulator::metrics_json() const {
@@ -450,6 +481,7 @@ std::string FleetSimulator::metrics_json() const {
   append_kv(out, "timeouts", r.timeouts);
   append_kv(out, "shed", r.shed);
   append_kv(out, "rejected", r.rejected);
+  append_kv(out, "quota_rejected", r.quota_rejected);
   append_kv(out, "skipped", r.skipped);
   append_kv(out, "degraded", r.degraded);
   append_kv(out, "alerts", r.alerts, false);
@@ -473,6 +505,7 @@ std::string FleetSimulator::metrics_json() const {
   append_kv(out, "mean_abs_error_ms", r.clock_mean_abs_error_ms);
   append_kv(out, "max_abs_error_ms", r.clock_max_abs_error_ms, false);
   out += "},\n  \"serve\": {";
+  append_kv(out, "shards", static_cast<std::uint64_t>(config_.shards));
   append_kv(out, "batches", r.batches);
   append_kv(out, "degraded_batches", r.degraded_batches, false);
   out += "},\n  \"verdicts\": [";

@@ -4,8 +4,9 @@
 // The simulator instantiates a VehicleAgent per session, wires every
 // uplink through a tap (latency / out-of-sequence accounting) into the
 // collection controller, and drives periodic inference: each vehicle's
-// freshest frame + IMU window is submitted to serve::Server and the
-// response is awaited *within the same simulation event* (lockstep), so
+// freshest frame + IMU window is submitted through serve::Router (one
+// shard by default; the overload scenarios shard and meter tenants) and
+// the response is awaited *within the same simulation event* (lockstep), so
 // the server -- despite running real worker threads -- sees a
 // deterministic request sequence and the whole run is bit-reproducible
 // from the seed. The server reads time through a VirtualTimeSource, so
@@ -22,7 +23,7 @@
 #include <vector>
 
 #include "collection/controller.hpp"
-#include "serve/serve.hpp"
+#include "serve/router.hpp"
 #include "sim/scenario.hpp"
 #include "sim/vehicle.hpp"
 
@@ -56,6 +57,9 @@ struct FleetReport {
   std::uint64_t timeouts{0};
   std::uint64_t shed{0};
   std::uint64_t rejected{0};
+  /// Of `rejected`, those clipped by a tenant quota at the router door
+  /// (never reached a shard queue).
+  std::uint64_t quota_rejected{0};
   std::uint64_t skipped{0};   // no frame delivered yet at infer time
   std::uint64_t degraded{0};  // responses served by the degraded path
   std::uint64_t alerts{0};    // debounced alert onsets across sessions
@@ -116,7 +120,9 @@ class FleetSimulator {
   [[nodiscard]] const ScenarioConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] serve::Server& server() noexcept { return *server_; }
+  [[nodiscard]] serve::Router& router() noexcept { return *router_; }
+  /// Shard 0 -- the whole serving tier when `shards == 1` (the default).
+  [[nodiscard]] serve::Server& server() noexcept { return router_->shard(0); }
   [[nodiscard]] collection::Controller& controller() noexcept {
     return *controller_;
   }
@@ -140,7 +146,7 @@ class FleetSimulator {
   ScenarioConfig config_;
   Simulation sim_;
   std::shared_ptr<engine::EnsembleClassifier> ensemble_;
-  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<serve::Router> router_;
   std::unique_ptr<collection::Controller> controller_;
   std::vector<std::unique_ptr<Track>> tracks_;
   FleetReport report_;

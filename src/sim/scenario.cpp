@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -89,6 +90,27 @@ namespace {
             base_config("degraded_flap", sessions, seed);
         config.imu_ensemble = true;
         config.degraded_flap_period_s = 1.0;
+        return config;
+      });
+
+  register_scenario(
+      "overload_brownout",
+      "10x overload vs tenant quotas: brown-out, the admitted floor flows",
+      [](int sessions, std::uint64_t seed) {
+        ScenarioConfig config =
+            base_config("overload_brownout", sessions, seed);
+        // Vehicles infer at 10x the nominal 4 Hz while per-tenant quotas
+        // admit roughly the nominal aggregate: the router clips the
+        // excess at the door (kRejected) so the shards never see the
+        // overload, and the admitted floor is served untouched.
+        config.infer_period_s = 0.025;
+        config.shards = 2;
+        config.tenants = 4;
+        const double nominal_rate = static_cast<double>(sessions) / 0.25;
+        const double per_tenant =
+            nominal_rate / static_cast<double>(config.tenants);
+        config.tenant_refill_per_s = per_tenant;
+        config.tenant_burst = std::max(1.0, 0.5 * per_tenant);
         return config;
       });
 

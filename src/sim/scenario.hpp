@@ -58,6 +58,18 @@ struct ScenarioConfig {
   double degraded_flap_period_s = 0.0;
   /// Build (and fit) the IMU side of the ensemble.
   bool imu_ensemble = false;
+
+  // Sharded serving tier (serve::Router). The bridge always routes
+  // through a Router; 1 shard routes every session to shard 0, which
+  // preserves the historical single-Server request sequence bit-for-bit.
+  int shards = 1;
+  /// Tenants cycle over vehicles: tenant id = vehicle id % tenants.
+  int tenants = 1;
+  /// Per-tenant admission quota: continuous token refill in requests/s
+  /// (0 leaves every tenant unmetered) and the bucket capacity in
+  /// requests (clamped to >= 1 when quotas are on).
+  double tenant_refill_per_s = 0.0;
+  double tenant_burst = 0.0;
 };
 
 /// A catalogue entry: the name is the CLI handle and the documentation

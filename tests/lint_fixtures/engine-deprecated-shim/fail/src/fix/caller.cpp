@@ -1,3 +1,4 @@
-// Fixture: re-enabling the deprecated engine shim API by hand.
-#define DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS 1
+// Fixture: resurrecting a deleted shim API behind a renamed gate. The
+// rule prefix-matches the gate family, so new suffixes don't dodge it.
+#define DARNET_ALLOW_DEPRECATED_CORE_SHIMS 1
 int shimmed() { return 0; }

@@ -1,5 +1,5 @@
-// Fixture: src/engine/ may name the gate (it guards the shims there).
-#if defined(DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS)
-int shims_enabled() { return 1; }
-#endif
-int shims_gated() { return 0; }
+// Fixture: the sanctioned alternative -- no gate token anywhere; callers
+// use the owning API. A longer identifier merely *containing* the gate
+// prefix mid-token is not a hit (start-of-identifier boundary).
+int kX_DARNET_ALLOW_DEPRECATED_suffix_is_not_a_gate = 0;
+int shims_gone() { return kX_DARNET_ALLOW_DEPRECATED_suffix_is_not_a_gate; }

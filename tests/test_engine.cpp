@@ -49,7 +49,7 @@ TEST(NeuralClassifier, EmitsNormalisedDistributions) {
   util::Rng rng(1);
   nn::Sequential model;
   model.emplace<nn::Dense>(4, 3, rng);
-  engine::NeuralClassifier classifier(model, 3, "toy");
+  engine::NeuralClassifier classifier(engine::borrow(model), 3, "toy");
   const Tensor p = classifier.probabilities(Tensor::uniform({5, 4}, 1.0f, rng));
   ASSERT_EQ(p.shape(), (std::vector<int>{5, 3}));
   for (int i = 0; i < 5; ++i) {
@@ -64,7 +64,7 @@ TEST(NeuralClassifier, DetectsClassCountMismatch) {
   util::Rng rng(2);
   nn::Sequential model;
   model.emplace<nn::Dense>(4, 3, rng);
-  engine::NeuralClassifier classifier(model, 5, "bad");
+  engine::NeuralClassifier classifier(engine::borrow(model), 5, "bad");
   EXPECT_THROW((void)classifier.probabilities(Tensor({1, 4})),
                std::logic_error);
 }
@@ -76,7 +76,7 @@ TEST(SvmClassifier, AcceptsWindowTensorsDirectly) {
       {8, imu::kWindowSteps, imu::kImuChannels}, 1.0f, rng);
   std::vector<int> labels{0, 1, 2, 0, 1, 2, 0, 1};
   model.fit(imu::flatten_windows(windows), labels);
-  engine::SvmClassifier classifier(model);
+  engine::SvmClassifier classifier(engine::borrow(model));
   const Tensor p = classifier.probabilities(windows);  // un-flattened input
   EXPECT_EQ(p.shape(), (std::vector<int>{8, 3}));
 }
@@ -85,14 +85,14 @@ TEST(Ensemble, CnnOnlyDegradesToFrameModel) {
   util::Rng rng(4);
   nn::Sequential frame_model;
   frame_model.emplace<nn::Dense>(10, 6, rng);
-  engine::NeuralClassifier frames(frame_model, 6, "cnn");
-  engine::EnsembleClassifier ensemble(frames, nullptr,
+  engine::NeuralClassifier frames(engine::borrow(frame_model), 6, "cnn");
+  engine::EnsembleClassifier ensemble(engine::borrow(frames), nullptr,
                                       bayes::ClassMap::darnet_default());
   EXPECT_FALSE(ensemble.has_imu_model());
 
   Tensor x = Tensor::uniform({4, 10}, 1.0f, rng);
   const Tensor direct = frames.probabilities(x);
-  const Tensor fused = ensemble.classify(x, Tensor({4, 1, 1}));
+  const Tensor fused = ensemble.classify_batch(x, Tensor({4, 1, 1}));
   for (std::size_t i = 0; i < direct.numel(); ++i) {
     EXPECT_FLOAT_EQ(direct[i], fused[i]);
   }
@@ -102,8 +102,8 @@ TEST(Ensemble, RejectsClassMapMismatch) {
   util::Rng rng(5);
   nn::Sequential frame_model;
   frame_model.emplace<nn::Dense>(10, 4, rng);  // 4 != 6 image classes
-  engine::NeuralClassifier frames(frame_model, 4, "cnn");
-  EXPECT_THROW(engine::EnsembleClassifier(frames, nullptr,
+  engine::NeuralClassifier frames(engine::borrow(frame_model), 4, "cnn");
+  EXPECT_THROW(engine::EnsembleClassifier(engine::borrow(frames), nullptr,
                                           bayes::ClassMap::darnet_default()),
                std::invalid_argument);
 }
@@ -129,7 +129,7 @@ TEST(Ensemble, FusionImprovesOnConfusedFrameModel) {
 
   nn::Sequential frame_model;
   frame_model.emplace<nn::Dense>(2, 6, rng);
-  engine::NeuralClassifier frames(frame_model, 6, "cnn");
+  engine::NeuralClassifier frames(engine::borrow(frame_model), 6, "cnn");
 
   // Identity "model" over the IMU evidence distribution.
   struct Identity final : engine::ProbabilisticClassifier {
@@ -138,7 +138,8 @@ TEST(Ensemble, FusionImprovesOnConfusedFrameModel) {
     std::string describe() const override { return "identity"; }
   } imu_model;
 
-  engine::EnsembleClassifier ensemble(frames, &imu_model,
+  engine::EnsembleClassifier ensemble(engine::borrow(frames),
+                                      engine::borrow(imu_model),
                                       bayes::ClassMap::darnet_default());
   ensemble.fit(frame_inputs, imu_inputs, labels);
   const auto cm = ensemble.evaluate(frame_inputs, imu_inputs, labels);
@@ -150,14 +151,15 @@ TEST(Registry, OneToOneMappingEnforced) {
   nn::Sequential m1, m2;
   m1.emplace<nn::Dense>(4, 3, rng);
   m2.emplace<nn::Dense>(4, 3, rng);
-  engine::NeuralClassifier c1(m1, 3, "a"), c2(m2, 3, "b");
+  engine::NeuralClassifier c1(engine::borrow(m1), 3, "a");
+  engine::NeuralClassifier c2(engine::borrow(m2), 3, "b");
 
   engine::AnalyticsEngine registry;
-  registry.register_stream("camera", c1);
+  registry.register_stream("camera", engine::borrow(c1));
   EXPECT_TRUE(registry.has_stream("camera"));
-  EXPECT_THROW(registry.register_stream("camera", c2),
+  EXPECT_THROW(registry.register_stream("camera", engine::borrow(c2)),
                std::invalid_argument);
-  registry.register_stream("imu", c2);
+  registry.register_stream("imu", engine::borrow(c2));
   EXPECT_EQ(registry.streams(),
             (std::vector<std::string>{"camera", "imu"}));
   EXPECT_EQ(registry.model_for("imu").describe(), "b");

@@ -178,7 +178,7 @@ struct FixedClassifier final : engine::ProbabilisticClassifier {
 
 TEST(Streaming, SmoothsAndDebounces) {
   FixedClassifier cnn;
-  engine::EnsembleClassifier ensemble(cnn, nullptr,
+  engine::EnsembleClassifier ensemble(engine::borrow(cnn), nullptr,
                                       bayes::ClassMap::darnet_default());
   engine::StreamingConfig cfg;
   cfg.smoothing_alpha = 0.5;
@@ -231,7 +231,7 @@ TEST(Streaming, SmoothsAndDebounces) {
 
 TEST(Streaming, ValidatesConfig) {
   FixedClassifier cnn;
-  engine::EnsembleClassifier ensemble(cnn, nullptr,
+  engine::EnsembleClassifier ensemble(engine::borrow(cnn), nullptr,
                                       bayes::ClassMap::darnet_default());
   engine::StreamingConfig bad;
   bad.smoothing_alpha = 0.0;

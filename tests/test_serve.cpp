@@ -96,9 +96,21 @@ struct IdentityImu final : engine::ProbabilisticClassifier {
   std::string describe() const override { return "identity"; }
 };
 
+/// serve::TimeSource forwarding to the wall clock -- an explicit source
+/// must be indistinguishable from the nullptr default.
+struct WallClockSource final : serve::TimeSource {
+  Clock::time_point now() const noexcept override { return Clock::now(); }
+};
+
+/// A clock pinned to one instant, for deadline boundary cases.
+struct FrozenSource final : serve::TimeSource {
+  Clock::time_point at{Clock::time_point() + std::chrono::hours(1)};
+  Clock::time_point now() const noexcept override { return at; }
+};
+
 TEST(ServeConfig, Validation) {
   auto ensemble = make_dense_ensemble();
-  serve::ServerConfig config;
+  serve::ShardConfig config;
 
   EXPECT_THROW(serve::Server(nullptr, config), std::invalid_argument);
 
@@ -164,7 +176,7 @@ TEST(ServeDeterminism, BitIdenticalToStreamingReference) {
   // Served: submit the same inputs riffle-interleaved across sessions
   // (per-session order preserved -- the determinism contract's domain),
   // with batching and two workers.
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 4;
   config.max_delay_us = 500;
   config.queue_capacity = 256;
@@ -225,7 +237,7 @@ TEST(ServeBackpressure, ShedOldestAdmitsTheNewcomer) {
   auto ensemble = std::make_shared<engine::EnsembleClassifier>(
       gate, nullptr, bayes::ClassMap::darnet_default());
 
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 1;
   config.max_delay_us = 0;
   config.queue_capacity = 2;
@@ -272,7 +284,7 @@ TEST(ServeBackpressure, RejectsWhenSheddingDisabled) {
   auto ensemble = std::make_shared<engine::EnsembleClassifier>(
       gate, nullptr, bayes::ClassMap::darnet_default());
 
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 1;
   config.max_delay_us = 0;
   config.queue_capacity = 1;
@@ -299,7 +311,7 @@ TEST(ServeBackpressure, RejectsWhenSheddingDisabled) {
 
 TEST(ServeDeadlines, ExpiredRequestsTimeOutWithoutInference) {
   auto ensemble = make_dense_ensemble();
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_delay_us = 0;
   serve::Server server(ensemble, config);
 
@@ -320,9 +332,149 @@ TEST(ServeDeadlines, ExpiredRequestsTimeOutWithoutInference) {
   EXPECT_EQ(server.stats().completed, 0u);
 }
 
+TEST(ServeDeadlines, DeadlineExactlyAtNowStillServes) {
+  // Triage expires strictly-past deadlines (`deadline < now`): a request
+  // whose deadline is the current instant is on time by contract.
+  auto ensemble = make_dense_ensemble();
+  auto frozen = std::make_shared<FrozenSource>();
+  serve::ShardConfig config;
+  config.max_delay_us = 0;
+  config.time_source = frozen;
+  serve::Server server(ensemble, config);
+
+  engine::ClassifyRequest on_time = make_request(1, Tensor({1, kFeatures}));
+  on_time.deadline = frozen->at;
+  auto sub = server.submit(std::move(on_time));
+  ASSERT_EQ(sub.admit, serve::Admit::kAccepted);
+  EXPECT_EQ(sub.response.get().status, serve::Status::kOk);
+
+  engine::ClassifyRequest late = make_request(2, Tensor({1, kFeatures}));
+  late.deadline = frozen->at - std::chrono::nanoseconds(1);
+  auto late_sub = server.submit(std::move(late));
+  ASSERT_EQ(late_sub.admit, serve::Admit::kAccepted);
+  EXPECT_EQ(late_sub.response.get().status, serve::Status::kTimeout);
+
+  server.drain();
+  EXPECT_EQ(server.stats().completed, 1u);
+  EXPECT_EQ(server.stats().timeouts, 1u);
+}
+
+TEST(ServeDeterminism, NullTimeSourceMatchesExplicitWallClock) {
+  // The nullptr default and a pass-through TimeSource must be the same
+  // clock in behaviour: riffled multi-session streams stay bit-identical
+  // between the two configurations.
+  auto ensemble = make_dense_ensemble();
+  constexpr int kSessions = 3;
+  constexpr int kSteps = 8;
+
+  util::Rng rng(23);
+  std::vector<std::vector<Tensor>> frames(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    for (int t = 0; t < kSteps; ++t) {
+      frames[s].push_back(Tensor::uniform({1, kFeatures}, 1.0f, rng));
+    }
+  }
+
+  const auto run = [&](std::shared_ptr<serve::TimeSource> source) {
+    serve::ShardConfig config;
+    config.max_batch = 4;
+    config.max_delay_us = 200;
+    config.workers = 2;
+    config.time_source = std::move(source);
+    serve::Server server(ensemble, config);
+    std::vector<std::vector<std::future<serve::Response>>> futures(kSessions);
+    util::Rng riffle(29);
+    std::vector<int> cursor(kSessions, 0);
+    int remaining = kSessions * kSteps;
+    while (remaining > 0) {
+      const int s = static_cast<int>(riffle.uniform_index(kSessions));
+      if (cursor[s] >= kSteps) continue;
+      auto sub = server.submit(make_request(
+          static_cast<std::uint64_t>(s), frames[s][cursor[s]]));
+      EXPECT_EQ(sub.admit, serve::Admit::kAccepted);
+      futures[s].push_back(std::move(sub.response));
+      ++cursor[s];
+      --remaining;
+    }
+    server.drain();
+    std::vector<std::vector<engine::StreamingVerdict>> verdicts(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      for (auto& f : futures[s]) {
+        serve::Response response = f.get();
+        EXPECT_EQ(response.status, serve::Status::kOk);
+        verdicts[s].push_back(std::move(response.result.verdict));
+      }
+    }
+    return verdicts;
+  };
+
+  const auto with_null = run(nullptr);
+  const auto with_wall = run(std::make_shared<WallClockSource>());
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(with_null[s].size(), with_wall[s].size());
+    for (std::size_t t = 0; t < with_null[s].size(); ++t) {
+      const auto& a = with_null[s][t];
+      const auto& b = with_wall[s][t];
+      EXPECT_EQ(a.predicted, b.predicted);
+      EXPECT_EQ(a.alert, b.alert);
+      ASSERT_EQ(a.distribution.numel(), b.distribution.numel());
+      for (std::size_t i = 0; i < a.distribution.numel(); ++i) {
+        EXPECT_EQ(a.distribution[i], b.distribution[i]);  // bitwise
+      }
+    }
+  }
+}
+
+TEST(ServeHotSwap, SwapKeepsSessionStreamsBitIdentical) {
+  // Two replicas built from the same seed are bit-identical in weights;
+  // swapping one for the other mid-stream must be invisible to every
+  // session (EWMA state lives in the server, not the ensemble).
+  auto ensemble = make_dense_ensemble();
+  constexpr int kSteps = 10;
+
+  util::Rng rng(31);
+  std::vector<Tensor> frames;
+  for (int t = 0; t < kSteps; ++t) {
+    frames.push_back(Tensor::uniform({1, kFeatures}, 1.0f, rng));
+  }
+  std::vector<engine::StreamingVerdict> reference;
+  {
+    engine::StreamingClassifier stream(ensemble, engine::StreamingConfig{});
+    for (const Tensor& frame : frames) {
+      reference.push_back(stream.step(frame, Tensor{}));
+    }
+  }
+
+  serve::ShardConfig config;
+  config.max_delay_us = 0;
+  serve::Server server(ensemble, config);
+  EXPECT_THROW(server.swap_ensemble(nullptr), std::invalid_argument);
+
+  for (int t = 0; t < kSteps; ++t) {
+    if (t == kSteps / 2) {
+      auto previous = server.swap_ensemble(make_dense_ensemble());
+      EXPECT_EQ(previous, ensemble);  // the old replica comes back out
+      EXPECT_NE(server.ensemble(), ensemble);
+    }
+    auto sub = server.submit(make_request(5, frames[t]));
+    ASSERT_EQ(sub.admit, serve::Admit::kAccepted);
+    serve::Response response = sub.response.get();
+    ASSERT_EQ(response.status, serve::Status::kOk);
+    const auto& got = response.result.verdict;
+    EXPECT_EQ(got.predicted, reference[t].predicted);
+    for (std::size_t i = 0; i < reference[t].distribution.numel(); ++i) {
+      EXPECT_EQ(got.distribution[i], reference[t].distribution[i]);
+    }
+  }
+
+  server.drain();
+  EXPECT_EQ(server.stats().ensemble_swaps, 1u);
+  EXPECT_EQ(server.stats().completed, static_cast<std::uint64_t>(kSteps));
+}
+
 TEST(ServeDrain, LeavesNoPendingFuturesAndRejectsAfter) {
   auto ensemble = make_dense_ensemble();
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 4;
   config.max_delay_us = 50'000;  // long window: drain must cut it short
   serve::Server server(ensemble, config);
@@ -353,10 +505,20 @@ TEST(ServeDrain, LeavesNoPendingFuturesAndRejectsAfter) {
             std::future_status::ready);
   EXPECT_EQ(late.response.get().status, serve::Status::kRejected);
 
+  // Rejection after drain is deterministic, not racy: every subsequent
+  // submit gets the same immediate answer.
+  for (int i = 0; i < 5; ++i) {
+    auto again = server.submit(make_request(2, Tensor({1, kFeatures})));
+    EXPECT_EQ(again.admit, serve::Admit::kRejected);
+    ASSERT_EQ(again.response.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(again.response.get().status, serve::Status::kRejected);
+  }
+
   server.drain();  // idempotent
   const auto stats = server.stats();
   EXPECT_EQ(stats.completed, 10u);
-  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.rejected, 6u);
 }
 
 TEST(ServeDegraded, WatermarkHysteresisSkipsTheFrameModel) {
@@ -383,7 +545,7 @@ TEST(ServeDegraded, WatermarkHysteresisSkipsTheFrameModel) {
   gate->entered = 0;
   gate->calls = 0;
 
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 8;
   config.max_delay_us = 0;
   config.queue_capacity = 32;

@@ -189,7 +189,7 @@ TEST(ServeTimeSource, DeadlinesAreJudgedOnTheInjectedClock) {
             sim::to_time_point(2.0).time_since_epoch().count())
       << "host steady clock too young for this regression to discriminate";
 
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_delay_us = 0;
   config.time_source = time;
   serve::Server server(tiny_ensemble(), config);
@@ -214,7 +214,7 @@ TEST(ServeTimeSource, DeadlinesAreJudgedOnTheInjectedClock) {
 }
 
 TEST(ServeTimeSource, ForceDegradedOverridesHysteresis) {
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_delay_us = 0;
   auto ensemble = tiny_ensemble();
   serve::Server server(ensemble, config);
@@ -230,7 +230,8 @@ TEST(ServeTimeSource, ForceDegradedOverridesHysteresis) {
 
 TEST(Scenario, CatalogueIsCompleteAndFindable) {
   const std::vector<std::string> expected = {
-      "steady", "burst", "diurnal", "churn", "clock_storm", "degraded_flap"};
+      "steady",      "burst",         "diurnal",          "churn",
+      "clock_storm", "degraded_flap", "overload_brownout"};
   ASSERT_EQ(sim::scenarios().size(), expected.size());
   for (const std::string& name : expected) {
     const sim::Scenario* scenario = sim::find_scenario(name);
@@ -315,6 +316,52 @@ TEST(FleetSimulator, DegradedFlapTogglesTheServePath) {
   ASSERT_GT(report.served, 0u);
   EXPECT_GT(report.degraded, 0u);             // the flap engaged
   EXPECT_LT(report.degraded, report.served);  // ...and disengaged
+}
+
+TEST(FleetSimulator, OverloadBrownoutClipsAtTheQuotaFloor) {
+  sim::ScenarioConfig config =
+      sim::find_scenario("overload_brownout")->make(20, 42);
+  sim::set_duration(config, 3.0);
+  sim::FleetSimulator fleet(config);
+  fleet.run();
+
+  const sim::FleetReport& report = fleet.report();
+  ASSERT_GT(report.requests, 0u);
+  // At 40 Hz the first inferences fire before any frame is delivered, so
+  // skipped requests are part of the ledger here.
+  EXPECT_EQ(report.requests, report.served + report.timeouts + report.shed +
+                                 report.rejected + report.skipped);
+  // Brown-out, not black-out: the bulk of the 10x offered load is clipped
+  // at the router door...
+  EXPECT_GT(report.rejected, report.served);
+  EXPECT_EQ(report.quota_rejected, report.rejected);
+  // ...while the admitted floor keeps flowing. The quota refills at the
+  // nominal 1x aggregate; demand saturates the buckets, so served traffic
+  // must reach at least half the nominal rate over the run.
+  const double floor = 0.5 * config.tenant_refill_per_s *
+                       static_cast<double>(config.tenants) *
+                       config.duration_s;
+  EXPECT_GE(static_cast<double>(report.served), floor);
+  // Both shards took traffic (consistent hashing spread 20 sessions).
+  const serve::Router::Stats stats = fleet.router().stats();
+  ASSERT_EQ(stats.per_shard.size(), 2u);
+  EXPECT_GT(stats.per_shard[0].batches, 0u);
+  EXPECT_GT(stats.per_shard[1].batches, 0u);
+  EXPECT_EQ(stats.quota_rejected, report.quota_rejected);
+}
+
+TEST(FleetSimulator, BrownoutSameSeedBitIdenticalExport) {
+  const auto run = [] {
+    sim::ScenarioConfig config =
+        sim::find_scenario("overload_brownout")->make(10, 7);
+    sim::set_duration(config, 2.0);
+    sim::FleetSimulator fleet(config);
+    fleet.run();
+    return fleet.metrics_json();
+  };
+  const std::string a = run();
+  EXPECT_NE(a.find("\"quota_rejected\""), std::string::npos);
+  EXPECT_EQ(a, run());  // routing + quotas stay on the determinism contract
 }
 
 TEST(FleetSimulator, ClockStormKeepsErrorBoundedBySync) {

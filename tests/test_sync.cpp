@@ -259,7 +259,7 @@ TEST(SyncParity, ServedPipelineBitIdenticalAcrossBuildModes) {
   // unchecked build of this test; both must reproduce one golden hash, so
   // the sync layer (lock-order bookkeeping, CV wait slicing, watchdog)
   // provably never changes what the code under it computes.
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 4;
   config.max_delay_us = 500;
   config.workers = 1;
@@ -337,7 +337,7 @@ TEST(SyncTeardown, ServerDestructionWithInflightRequests) {
   auto gate = std::make_shared<GatedClassifier>();
   auto ensemble = std::make_shared<engine::EnsembleClassifier>(
       gate, nullptr, bayes::ClassMap::darnet_default());
-  serve::ServerConfig config;
+  serve::ShardConfig config;
   config.max_batch = 2;
   config.max_delay_us = 100;
   serve::Server server(ensemble, config);

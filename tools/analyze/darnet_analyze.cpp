@@ -1,15 +1,17 @@
 // darnet_analyze — token/symbol-level cross-file static analyzer for the
 // darnet repo's concurrency, hot-path, and contract rules.
 //
-// Usage:
-//   darnet_analyze <repo_root> [--format=text|json] [--baseline=<path>]
-//                  [--no-stale-check] [--dump-lock-graph=<path>]
+// Usage (flags and the 0/1/2 exit-code contract follow
+// tools/common/cli.hpp):
+//   darnet_analyze <repo_root> [--format=text|json] [--out=PATH]
+//                  [--baseline=<path>] [--no-stale-check]
+//                  [--dump-lock-graph=<path>] [--list]
 //
-// Exit codes: 0 clean, 1 findings remain after the baseline, 2 usage/IO
-// error. Text findings go to stderr (same `file:line: [rule] message` shape
+// Text findings go to stderr (same `file:line: [rule] message` shape
 // as darnet_lint, so tests/lint_fixtures/run_fixtures.sh drives both); JSON
-// goes to stdout. The default baseline is <root>/tools/analyze/
-// analyze_baseline.json when that file exists.
+// goes to stdout, and --out writes the selected rendering to a file.
+// --list prints the rule catalogue. The default baseline is
+// <root>/tools/analyze/analyze_baseline.json when that file exists.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,43 +20,52 @@
 #include <string>
 
 #include "tools/analyze/rules.hpp"
+#include "tools/common/cli.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: darnet_analyze <repo_root> [--format=text|json] "
-               "[--baseline=<path>] [--no-stale-check] "
-               "[--dump-lock-graph=<path>]\n");
-  return 2;
-}
+/// The --list catalogue (full rule docs: docs/STATIC_ANALYSIS.md).
+constexpr struct {
+  const char* name;
+  const char* what;
+} kRuleCatalogue[] = {
+    {"lock-order", "mutex acquisition-order cycles / hierarchy breaks"},
+    {"guarded-by", "guarded member touched without its lock held"},
+    {"hot-path-alloc-transitive", "allocation reachable from hot roots"},
+    {"unchecked-status", "Admit/Status result discarded as a statement"},
+    {"stale-baseline", "baseline suppression matching nothing"},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace darnet::analyze;
-  std::string root, format = "text", baseline_arg, dump_lock_graph;
-  bool stale_check = true;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--format=", 0) == 0) {
-      format = arg.substr(9);
-      if (format != "text" && format != "json") return usage();
-    } else if (arg.rfind("--baseline=", 0) == 0) {
-      baseline_arg = arg.substr(11);
-    } else if (arg == "--no-stale-check") {
-      stale_check = false;
-    } else if (arg.rfind("--dump-lock-graph=", 0) == 0) {
-      dump_lock_graph = arg.substr(18);
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage();
-    } else if (root.empty()) {
-      root = arg;
-    } else {
-      return usage();
+  darnet::cli::Parser parser(
+      "darnet_analyze",
+      "usage: darnet_analyze <repo_root> [--format=text|json] [--out=PATH]\n"
+      "                      [--baseline=<path>] [--no-stale-check]\n"
+      "                      [--dump-lock-graph=<path>] [--list]");
+  parser.flag("format").flag("out").flag("baseline").flag("dump-lock-graph");
+  parser.toggle("no-stale-check").toggle("list");
+  bool json = false;
+  if (!parser.parse(argc, argv, 1) || !parser.format(json)) return 2;
+  if (parser.help()) return 0;
+  if (parser.on("list")) {
+    for (const auto& rule : kRuleCatalogue) {
+      std::printf("%-26s %s\n", rule.name, rule.what);
     }
+    return 0;
   }
-  if (root.empty()) return usage();
+  const std::string format = json ? "json" : "text";
+  const std::string baseline_arg = parser.get("baseline", "");
+  const std::string dump_lock_graph = parser.get("dump-lock-graph", "");
+  const std::string out_path = parser.get("out", "");
+  const bool stale_check = !parser.on("no-stale-check");
+  if (parser.positionals().empty()) {
+    std::fprintf(stderr, "darnet_analyze: missing <repo_root> operand\n");
+    return 2;
+  }
+  const std::string root = parser.positionals().front();
   std::filesystem::path rp(root);
   if (!std::filesystem::exists(rp / "src")) {
     std::fprintf(stderr, "darnet_analyze: '%s' does not look like the repo root (no src/)\n",
@@ -107,6 +118,15 @@ int main(int argc, char** argv) {
     std::cout << format_json(res.findings);
   }
   std::cerr << format_text(res.findings);
+  if (!out_path.empty() && out_path != "-") {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "darnet_analyze: cannot write '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    out << (json ? format_json(res.findings) : format_text(res.findings));
+  }
   if (res.findings.empty()) {
     std::fprintf(stderr,
                  "darnet_analyze: clean (%d files, %d functions, %zu lock "

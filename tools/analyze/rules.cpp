@@ -26,6 +26,7 @@ bool under_any(const std::string& file, const std::vector<std::string>& prefixes
 // ascending rank. Names are the compile-time mutex name literals.
 const std::map<std::string, int>& hierarchy_ranks() {
   static const std::map<std::string, int> ranks = {
+      {"route/state", -1},  // held across per-shard snapshot flips
       {"serve/admission", 0}, {"serve/exec", 1}, {"serve/apply", 2},
       {"parallel/pool_submit", 10}, {"parallel/pool", 11},
   };

@@ -72,7 +72,7 @@ JOBS="${JOBS:-$(nproc)}"
 BUILD_ROOT="${BUILD_ROOT:-${ROOT}/build-matrix}"
 
 ALL_LEGS=(default checked asan ubsan tsan obs obs-off serve sim-smoke
-          sync-stress analyze bench-smoke)
+          http-smoke sync-stress analyze bench-smoke)
 LEGS=("$@")
 if [ "${#LEGS[@]}" -eq 0 ]; then
   LEGS=("${ALL_LEGS[@]}")
@@ -197,6 +197,49 @@ run_sim_smoke() {
   fi
   rm -rf "${sim_dir}"
   PASSED+=("sim-smoke")
+  return 0
+}
+
+# http-smoke leg: the HTTP edge end to end over real loopback TCP. Build
+# http_demo in a Release + observability configuration and run it: the
+# demo boots a 2-shard Router behind http::Edge on an ephemeral port and
+# drives /healthz, /classify (with a mid-traffic snapshot hot swap and a
+# quota 429) and /metrics with the in-repo client, exiting nonzero on any
+# miss. The leg additionally asserts the /metrics body the demo prints
+# carries the documented http/* and route/* rows.
+run_http_smoke() {
+  leg_dir="${BUILD_ROOT}/http-smoke"
+  echo
+  echo "=== [http-smoke] configure ==="
+  if ! cmake -B "${leg_dir}" -S "${ROOT}" -DDARNET_WERROR=ON \
+       -DCMAKE_BUILD_TYPE=Release -DDARNET_OBS=ON; then
+    FAILED+=("http-smoke (configure)")
+    return 1
+  fi
+  echo "=== [http-smoke] build http_demo (-j${JOBS}) ==="
+  if ! cmake --build "${leg_dir}" -j "${JOBS}" --target http_demo; then
+    FAILED+=("http-smoke (build)")
+    return 1
+  fi
+  echo "=== [http-smoke] smoke ==="
+  http_log="$(mktemp)"
+  if ! "${leg_dir}/examples/http_demo" > "${http_log}" 2>&1; then
+    cat "${http_log}"
+    echo "http_demo exited nonzero" >&2
+    rm -f "${http_log}"
+    FAILED+=("http-smoke (run)")
+    return 1
+  fi
+  cat "${http_log}"
+  if ! grep -q 'http/requests_total' "${http_log}" || \
+     ! grep -q 'route/requests_routed_total' "${http_log}"; then
+    echo "http_demo /metrics body lacks http/* or route/* rows" >&2
+    rm -f "${http_log}"
+    FAILED+=("http-smoke (obs registry)")
+    return 1
+  fi
+  rm -f "${http_log}"
+  PASSED+=("http-smoke")
   return 0
 }
 
@@ -367,6 +410,9 @@ for leg in "${LEGS[@]}"; do
       ;;
     sim-smoke)
       run_sim_smoke
+      ;;
+    http-smoke)
+      run_http_smoke
       ;;
     sync-stress)
       run_sync_stress

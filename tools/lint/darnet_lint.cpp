@@ -78,10 +78,10 @@
 //                    DARNET_ASSERT_NOT_HELD(<mu>)) in the function body --
 //                    lock preconditions are executable, not prose
 //   engine-deprecated-shim
-//                    the DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS gate may be
-//                    named only inside src/engine/ (where it guards the
-//                    shim declarations); tests opt in via CMake, and no
-//                    other code may re-enable the deprecated engine API
+//                    any DARNET_ALLOW_DEPRECATED* gate token, anywhere in
+//                    the tree: the deprecated engine shim API was deleted
+//                    (PR 9), so naming the gate -- or any renamed variant
+//                    of it -- is an attempt to resurrect a removed API
 //
 // Comments, string literals and character literals never trigger a rule:
 // the banned-token rules (sync-raw-primitive, hot-path-alloc) and the
@@ -91,8 +91,13 @@
 // spells out every banned construct, but only inside string literals,
 // which are distinct tokens.
 //
-// Usage: darnet_lint <repo_root>
-// Exit status: 0 when clean, 1 on findings, 2 on usage/IO errors.
+// Usage: darnet_lint <repo_root> [--format=text|json] [--out=PATH]
+//                    [--list]
+// Flags and the 0/1/2 exit-code contract follow tools/common/cli.hpp.
+// Text findings always go to stderr (the fixture harness keys on that
+// shape); --format=json adds a machine-readable findings array on
+// stdout, --out writes that rendering to a file, --list prints the rule
+// catalogue.
 
 #include <algorithm>
 #include <cctype>
@@ -109,6 +114,7 @@
 #include <vector>
 
 #include "tools/analyze/lexer.hpp"
+#include "tools/common/cli.hpp"
 
 namespace fs = std::filesystem;
 namespace analyze = darnet::analyze;
@@ -732,20 +738,24 @@ struct Linter {
       check_assert_held(path, raw, code);
     }
 
-    // The deprecated engine shim API is compiled out unless the gate
-    // macro is defined. Tests receive the gate from CMake
-    // (darnet_test()), so the token's presence in any source file outside
-    // src/engine/ means someone is re-enabling the shims by hand.
-    if (!rel.starts_with("src/engine/")) {
-      for_each_token(code, "DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS",
-                     [&](std::size_t pos) {
-                       report(path, line_of(code, pos),
-                              "engine-deprecated-shim",
-                              "DARNET_ALLOW_DEPRECATED_ENGINE_SHIMS outside "
-                              "src/engine/; migrate to ClassifyRequest / "
-                              "classify_batch instead of re-enabling the "
-                              "deprecated shim API");
-                     });
+    // The deprecated engine shim API was deleted outright (PR 9): no
+    // shim declarations remain in src/engine/, so any DARNET_ALLOW_
+    // DEPRECATED* gate token anywhere in the tree -- engine shims or a
+    // future copycat gate -- is someone trying to resurrect a removed
+    // API. Prefix match (start-of-identifier boundary only) so renamed
+    // suffixes cannot dodge the ban.
+    {
+      constexpr std::string_view kGatePrefix = "DARNET_ALLOW_DEPRECATED";
+      for (std::size_t pos = code.find(kGatePrefix);
+           pos != std::string::npos;
+           pos = code.find(kGatePrefix, pos + 1)) {
+        if (pos > 0 && ident_char(code[pos - 1])) continue;
+        report(path, line_of(code, pos), "engine-deprecated-shim",
+               "DARNET_ALLOW_DEPRECATED* gate token; the deprecated "
+               "engine shim API is gone -- use ClassifyRequest / "
+               "classify_batch and engine::borrow instead of "
+               "re-enabling removed shims");
+      }
     }
 
     // Scenario-catalogue contract extraction: every
@@ -965,12 +975,87 @@ struct Linter {
 
 }  // namespace
 
+/// The --list catalogue: every rule name with its one-line purpose.
+/// Names are stable -- fixture dirs under tests/lint_fixtures/ key on
+/// them.
+constexpr struct {
+  const char* name;
+  const char* what;
+} kRuleCatalogue[] = {
+    {"pragma-once", "every header opens with #pragma once"},
+    {"raw-new", "manual new outside the make_unique/make_shared idiom"},
+    {"raw-delete", "manual delete (ownership must be scoped)"},
+    {"thread-outside-parallel", "std::thread anywhere but src/parallel/"},
+    {"unseeded-rng", "default-seeded random engine"},
+    {"hot-path-io", "iostream inside the numeric hot-path dirs"},
+    {"hot-path-alloc", "per-call float/double vector on the hot path"},
+    {"serve-bounded-queue", "queue push with no capacity check nearby"},
+    {"sync-raw-primitive", "raw std primitives outside src/sync/"},
+    {"sync-guarded-by", "lock-owning member without DARNET_GUARDED_BY"},
+    {"sync-assert-held", "REQUIRES comment without DARNET_ASSERT_HELD"},
+    {"engine-deprecated-shim", "any DARNET_ALLOW_DEPRECATED* gate token"},
+    {"obs-name-literal", "metric name off the segment/charset grammar"},
+    {"obs-doc-missing", "metric with no docs/OBSERVABILITY.md row"},
+    {"obs-doc-stale", "documented metric no longer in the code"},
+    {"sim-doc-missing", "scenario with no docs/SIMULATION.md row"},
+    {"sim-doc-stale", "documented scenario no longer registered"},
+    {"io-error", "a file the linter could not read"},
+};
+
+[[nodiscard]] std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+[[nodiscard]] std::string render(const std::vector<Finding>& findings,
+                                 bool json) {
+  std::string out;
+  if (json) {
+    out += "{\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      out += i ? ",\n  " : "\n  ";
+      out += "{\"file\":\"" + json_escape(f.file) +
+             "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"" +
+             f.rule + "\",\"message\":\"" + json_escape(f.message) + "\"}";
+    }
+    out += findings.empty() ? "]}\n" : "\n]}\n";
+    return out;
+  }
+  for (const Finding& f : findings) {
+    out += f.file + ':' + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + '\n';
+  }
+  return out;
+}
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: darnet_lint <repo_root>\n";
+  darnet::cli::Parser parser(
+      "darnet_lint",
+      "usage: darnet_lint <repo_root> [--format=text|json] [--out=PATH] "
+      "[--list]");
+  parser.flag("format").flag("out");
+  parser.toggle("list");
+  bool json = false;
+  if (!parser.parse(argc, argv, 1) || !parser.format(json)) return 2;
+  if (parser.help()) return 0;
+  if (parser.on("list")) {
+    for (const auto& rule : kRuleCatalogue) {
+      std::printf("%-24s %s\n", rule.name, rule.what);
+    }
+    return 0;
+  }
+  if (parser.positionals().empty()) {
+    std::cerr << "usage: darnet_lint <repo_root> [--format=text|json] "
+                 "[--out=PATH] [--list]\n";
     return 2;
   }
-  const fs::path root = fs::path(argv[1]);
+  const fs::path root = fs::path(parser.positionals().front());
   if (!fs::exists(root / "src")) {
     std::cerr << "darnet_lint: " << root.string()
               << " does not look like the repo root (no src/)\n";
@@ -981,15 +1066,26 @@ int main(int argc, char** argv) {
   linter.root = root;
   linter.run();
 
-  for (const Finding& f : linter.findings) {
-    std::cerr << f.file << ':' << f.line << ": [" << f.rule << "] "
-              << f.message << '\n';
+  // Text findings go to stderr unconditionally: the fixture harness and
+  // CI grep that stream for the [rule] tags.
+  std::cerr << render(linter.findings, /*json=*/false);
+  if (json) std::cout << render(linter.findings, /*json=*/true);
+
+  const std::string out_path = parser.get("out", "");
+  if (!out_path.empty() && out_path != "-") {
+    std::ofstream file(out_path, std::ios::binary);
+    if (!file) {
+      std::cerr << "darnet_lint: cannot write '" << out_path << "'\n";
+      return 2;
+    }
+    file << render(linter.findings, json);
   }
+
   if (!linter.findings.empty()) {
     std::cerr << "darnet_lint: " << linter.findings.size()
               << " finding(s)\n";
     return 1;
   }
-  std::cout << "darnet_lint: clean\n";
+  if (!json) std::cout << "darnet_lint: clean\n";
   return 0;
 }

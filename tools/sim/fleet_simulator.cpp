@@ -5,14 +5,17 @@
 // into the serving tier on one deterministic event queue. Same seed =>
 // bit-identical metrics export (see docs/SIMULATION.md).
 //
-// Usage:
+// Usage (flags and exit codes follow tools/common/cli.hpp):
 //   fleet_simulator [--scenario=NAME] [--sessions=N] [--seed=S]
-//                   [--duration=SECONDS] [--out=PATH] [--list]
+//                   [--duration=SECONDS] [--shards=N]
+//                   [--format=text|json] [--out=PATH] [--list]
 //
 //   --scenario=NAME   scenario to run (default: steady); see --list
 //   --sessions=N      fleet size (default: 100)
 //   --seed=S          master seed (default: 42)
 //   --duration=SECS   re-time the scenario (burst windows etc. scale)
+//   --shards=N        override the scenario's serve::Router shard count
+//   --format=FMT      text: human summary + JSON; json: JSON only
 //   --out=PATH        write the metrics JSON there ("-" = stdout only)
 //   --list            print the scenario catalogue and exit
 //
@@ -27,16 +30,9 @@
 
 #include "obs/obs.hpp"
 #include "sim/fleet.hpp"
+#include "tools/common/cli.hpp"
 
 namespace {
-
-void print_usage() {
-  std::cout
-      << "usage: fleet_simulator [--scenario=NAME] [--sessions=N] "
-         "[--seed=S]\n"
-         "                       [--duration=SECONDS] [--out=PATH] "
-         "[--list]\n";
-}
 
 void print_catalogue() {
   std::cout << "scenario        what it stresses\n";
@@ -51,44 +47,39 @@ void print_catalogue() {
 int main(int argc, char** argv) {
   using namespace darnet;
 
-  std::string scenario_name = "steady";
-  std::string out_path;
-  int sessions = 100;
-  std::uint64_t seed = 42;
-  double duration_s = -1.0;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&arg]() -> std::string {
-      const auto pos = arg.find('=');
-      return pos == std::string::npos ? std::string() : arg.substr(pos + 1);
-    };
-    if (arg == "--list") {
-      print_catalogue();
-      return 0;
-    }
-    if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    }
-    if (arg.rfind("--scenario=", 0) == 0) {
-      scenario_name = value();
-    } else if (arg.rfind("--sessions=", 0) == 0) {
-      sessions = std::atoi(value().c_str());
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      seed = std::strtoull(value().c_str(), nullptr, 10);
-    } else if (arg.rfind("--duration=", 0) == 0) {
-      duration_s = std::atof(value().c_str());
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = value();
-    } else {
-      std::cerr << "fleet_simulator: unknown argument '" << arg << "'\n";
-      print_usage();
-      return 2;
-    }
+  cli::Parser parser(
+      "fleet_simulator",
+      "usage: fleet_simulator [--scenario=NAME] [--sessions=N] [--seed=S]\n"
+      "                       [--duration=SECONDS] [--shards=N]\n"
+      "                       [--format=text|json] [--out=PATH] [--list]");
+  parser.flag("scenario")
+      .flag("sessions")
+      .flag("seed")
+      .flag("duration")
+      .flag("shards")
+      .flag("format")
+      .flag("out");
+  parser.toggle("list");
+  bool json_only = false;
+  if (!parser.parse(argc, argv) || !parser.format(json_only)) return 2;
+  if (parser.help()) return 0;
+  if (parser.on("list")) {
+    print_catalogue();
+    return 0;
   }
+
+  const std::string scenario_name = parser.get("scenario", "steady");
+  const std::string out_path = parser.get("out", "");
+  const int sessions = parser.get_int("sessions", 100);
+  const std::uint64_t seed = parser.get_u64("seed", 42);
+  const double duration_s = parser.get_double("duration", -1.0);
+  const int shards = parser.get_int("shards", 0);
   if (sessions < 1) {
     std::cerr << "fleet_simulator: --sessions must be >= 1\n";
+    return 2;
+  }
+  if (!parser.get("shards", "").empty() && shards < 1) {
+    std::cerr << "fleet_simulator: --shards must be >= 1\n";
     return 2;
   }
 
@@ -102,17 +93,22 @@ int main(int argc, char** argv) {
 
   sim::ScenarioConfig config = scenario->make(sessions, seed);
   if (duration_s > 0.0) sim::set_duration(config, duration_s);
+  if (shards >= 1) config.shards = shards;
 
-  std::cout << "scenario=" << config.name << " sessions=" << config.sessions
-            << " seed=" << config.seed << " duration=" << config.duration_s
-            << "s\n";
+  if (!json_only) {
+    std::cout << "scenario=" << config.name
+              << " sessions=" << config.sessions << " seed=" << config.seed
+              << " duration=" << config.duration_s
+              << "s shards=" << config.shards << "\n";
+  }
 
   sim::FleetSimulator fleet(config);
   fleet.run();
   const std::string json = fleet.metrics_json();
 
   const sim::FleetReport& report = fleet.report();
-  std::printf(
+  if (!json_only) {
+    std::printf(
       "events=%llu requests=%llu served=%llu timeouts=%llu skipped=%llu "
       "degraded=%llu\n"
       "latency_ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
@@ -134,6 +130,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.out_of_sequence),
       report.clock_mean_abs_error_ms, report.clock_max_abs_error_ms,
       static_cast<unsigned long long>(report.clock_probes));
+  }
 
   if (out_path.empty() || out_path == "-") {
     std::cout << json;
@@ -141,10 +138,10 @@ int main(int argc, char** argv) {
     std::ofstream file(out_path);
     if (!file) {
       std::cerr << "fleet_simulator: cannot write '" << out_path << "'\n";
-      return 1;
+      return 2;
     }
     file << json;
-    std::cout << "metrics: " << out_path << "\n";
+    if (!json_only) std::cout << "metrics: " << out_path << "\n";
   }
 
   // Observability dump: sim/* and serve/* flow through the process-wide
