@@ -127,10 +127,8 @@ Response Edge::handle_classify(const Request& request) {
                            "configured shape");
   }
   if (config_.deadline_us > 0) {
-    const auto& source = router_.config().shard.time_source;
-    const auto now =
-        source ? source->now() : std::chrono::steady_clock::now();
-    classify.deadline = now + std::chrono::microseconds(config_.deadline_us);
+    classify.deadline = router_.clock_now() +
+                        std::chrono::microseconds(config_.deadline_us);
   }
 
   const std::uint64_t session = classify.session_id;

@@ -156,7 +156,7 @@ void send_response(int fd, const Response& response) {
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
           0 ||
       ::listen(fd, 64) < 0) {
-    ::close(fd);
+    (void)::close(fd);
     throw std::runtime_error("http::HttpServer: bind/listen failed");
   }
   return fd;
@@ -166,7 +166,7 @@ void send_response(int fd, const Response& response) {
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    ::close(fd);
+    (void)::close(fd);
     throw std::runtime_error("http::HttpServer: getsockname failed");
   }
   return ntohs(addr.sin_port);
@@ -180,15 +180,15 @@ HttpServer::HttpServer(Handler handler, HttpServerConfig config)
       listener_{bind_loopback(config.port)},
       port_(bound_port(listener_.fd)) {
   if (!handler_) {
-    ::close(listener_.fd);
+    (void)::close(listener_.fd);
     throw std::invalid_argument("http::HttpServer: handler must be set");
   }
   if (config_.workers < 1) {
-    ::close(listener_.fd);
+    (void)::close(listener_.fd);
     throw std::invalid_argument("http::HttpServer: workers must be >= 1");
   }
   if (config_.pending_capacity < 1) {
-    ::close(listener_.fd);
+    (void)::close(listener_.fd);
     throw std::invalid_argument(
         "http::HttpServer: pending_capacity must be >= 1");
   }
@@ -236,7 +236,7 @@ void HttpServer::accept_loop() {
       response.status = 503;
       response.body = "{\"error\":\"overloaded\"}";
       send_response(fd, response);
-      ::close(fd);
+      (void)::close(fd);
     } else {
       conn_cv_.notify_one();
     }
@@ -257,8 +257,13 @@ void HttpServer::handler_loop() {
   }
 }
 
+std::chrono::steady_clock::time_point HttpServer::clock_now() const noexcept {
+  return config_.time_source ? config_.time_source->now()
+                             : std::chrono::steady_clock::now();
+}
+
 void HttpServer::handle_connection(int fd) {
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = clock_now();
   Request request;
   Response response;
   if (!read_request(fd, config_.max_request_bytes, request)) {
@@ -287,11 +292,11 @@ void HttpServer::handle_connection(int fd) {
     }
   }
   send_response(fd, response);
-  ::close(fd);
+  (void)::close(fd);
   DARNET_HISTOGRAM_NS(
       "http/request_ns",
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - started)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock_now() -
+                                                           started)
           .count());
 }
 
@@ -314,7 +319,7 @@ void HttpServer::stop() {
   if (acceptor.joinable()) acceptor.join();
   for (auto& worker : workers) worker.join();
   if (first) {
-    ::close(listener_.fd);
+    (void)::close(listener_.fd);
     // Handlers drain the backlog before exiting (the wait predicate only
     // returns on empty), so anything left here arrived after the join --
     // refuse it.
@@ -323,7 +328,7 @@ void HttpServer::stop() {
       sync::Lock lock(mu_);
       leftovers.swap(pending_);
     }
-    for (const int fd : leftovers) ::close(fd);
+    for (const int fd : leftovers) (void)::close(fd);
   }
 }
 
@@ -344,7 +349,7 @@ ClientResponse request(const std::string& host, std::uint16_t port,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
       ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) < 0) {
-    ::close(fd);
+    (void)::close(fd);
     return out;
   }
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
@@ -362,7 +367,7 @@ ClientResponse request(const std::string& host, std::uint16_t port,
     if (n <= 0) break;
     reply.append(chunk, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  (void)::close(fd);
 
   // "HTTP/1.1 <status> ..." + head, body after the blank line.
   const std::size_t sp = reply.find(' ');

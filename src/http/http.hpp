@@ -16,14 +16,17 @@
 // serve::Server).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "parallel/pool.hpp"
+#include "serve/serve.hpp"
 #include "sync/sync.hpp"
 
 namespace darnet::http {
@@ -59,6 +62,11 @@ struct HttpServerConfig {
   std::size_t pending_capacity = 64;
   /// Largest accepted request (head + body) in bytes; beyond it, 400.
   std::size_t max_request_bytes = 1u << 20;
+  /// Clock for request-latency accounting. Null means
+  /// std::chrono::steady_clock; src/sim injects a virtual-time source so
+  /// the HTTP tier's time math is simulation-drivable (the same seam as
+  /// serve::ShardConfig::time_source).
+  std::shared_ptr<const serve::TimeSource> time_source;
 };
 
 /// The embedded server. Binds and starts serving in the constructor;
@@ -93,6 +101,8 @@ class HttpServer {
   void accept_loop();
   void handler_loop();
   void handle_connection(int fd);
+  [[nodiscard]] std::chrono::steady_clock::time_point clock_now()
+      const noexcept;
 
   const Handler handler_;
   const HttpServerConfig config_;

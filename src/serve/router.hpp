@@ -134,6 +134,13 @@ class Router {
     return config_;
   }
 
+  /// The router's notion of now: the injected shard TimeSource when one is
+  /// configured, std::chrono::steady_clock otherwise. Public so layers in
+  /// front (the HTTP edge's deadline stamping) share the same clock instead
+  /// of reading the wall clock directly (rule time-source-purity).
+  [[nodiscard]] std::chrono::steady_clock::time_point clock_now()
+      const noexcept;
+
  private:
   struct Bucket {
     double tokens{0.0};
@@ -142,8 +149,6 @@ class Router {
 
   // True when the tenant may pass (spends one token). REQUIRES: mu_ held.
   [[nodiscard]] bool charge_tenant(std::uint64_t tenant_id);
-  [[nodiscard]] std::chrono::steady_clock::time_point clock_now()
-      const noexcept;
 
   const RouterConfig config_;
   // Both fixed at construction: the shard set and the sorted ring of

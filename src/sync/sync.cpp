@@ -27,6 +27,7 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -246,6 +247,32 @@ void reset_order_graph_for_test() noexcept {
   g_edge_count.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+// CV-wait site registry (immortal, like the order graph): every function the
+// watchdog has seen enter a CondVar wait, by pretty name.
+std::mutex& wait_sites_mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::set<std::string>& wait_sites() {
+  static auto* sites = new std::set<std::string>;
+  return *sites;
+}
+
+void record_wait_site(const std::source_location& loc) {
+  std::lock_guard<std::mutex> lock(wait_sites_mu());
+  wait_sites().emplace(loc.function_name());
+}
+
+}  // namespace
+
+std::vector<std::string> cv_wait_sites_snapshot() {
+  std::lock_guard<std::mutex> lock(wait_sites_mu());
+  return {wait_sites().begin(), wait_sites().end()};
+}
+
 namespace detail {
 
 [[noreturn]] void fail(const char* what, const char* detail_a,
@@ -402,6 +429,7 @@ WaitWatch::WaitWatch(UniqueLock& lock, const std::source_location& loc)
   if (!lock.owns_lock()) {
     fail("CondVar wait requires an owned lock", mu_.name(), nullptr);
   }
+  record_wait_site(loc);
   const WatchdogConfig config = wait_watchdog();
   bound_us_ = config.bound_us;
   fatal_ = config.fatal;

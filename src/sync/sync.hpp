@@ -280,6 +280,12 @@ void set_wait_watchdog(WatchdogConfig config) noexcept;
 // Clears the global lock-order graph (edges learned so far).  Test-only:
 // lets death-test children seed conflicting orders from a clean slate.
 void reset_order_graph_for_test() noexcept;
+// Sorted unique pretty function names (std::source_location::function_name
+// of the CondVar::wait caller) the CV watchdog has observed waiting so far.
+// Exported so darnet_analyze's static may-block effect can be cross-checked
+// against runtime reality (tests/test_analyze.cpp). Empty in unchecked
+// builds, where no wait bookkeeping is kept.
+[[nodiscard]] std::vector<std::string> cv_wait_sites_snapshot();
 
 namespace detail {
 
@@ -361,6 +367,9 @@ inline void set_wait_watchdog(WatchdogConfig) noexcept {}
   return {};
 }
 inline void reset_order_graph_for_test() noexcept {}
+[[nodiscard]] inline std::vector<std::string> cv_wait_sites_snapshot() {
+  return {};
+}
 
 class CondVar {
  public:

@@ -1,0 +1,24 @@
+// Fixture: blocking under a held sync::Lock, both directly (a POSIX recv in
+// the lock scope) and transitively (a may-block helper called under the
+// lock). Both must be reported.
+namespace fix {
+
+sync::Mutex g_mu{"serve/admission"};
+
+int drain_socket(int fd) {
+  char buf[16];
+  return static_cast<int>(::recv(fd, buf, sizeof(buf), 0));
+}
+
+int locked_direct(int fd) {
+  char buf[16];
+  sync::Lock lock(g_mu);
+  return static_cast<int>(::recv(fd, buf, sizeof(buf), 0));
+}
+
+int locked_transitive(int fd) {
+  sync::Lock lock(g_mu);
+  return drain_socket(fd);
+}
+
+}  // namespace fix

@@ -10,6 +10,11 @@
 # sanctioned alternative, so analyzer refactors cannot silently widen or
 # narrow a rule.
 #
+# A mode directory may also carry an expect.grep file: every non-empty line
+# must appear verbatim (fixed-string grep) in the analyzer output. This pins
+# exact message contracts, e.g. that stale-baseline reports the copy-paste
+# (rule, file, symbol) entry key.
+#
 # Usage: run_fixtures.sh <darnet_analyze-binary> <fixtures-dir>
 set -u
 
@@ -53,6 +58,16 @@ for rule_dir in "$FIXTURES"/*/; do
         echo "$out" >&2
         failures=$((failures + 1))
       fi
+    fi
+    if [ -f "$root/expect.grep" ]; then
+      while IFS= read -r want; do
+        [ -n "$want" ] || continue
+        if ! printf '%s' "$out" | grep -qF -- "$want"; then
+          echo "FIXTURE FAIL: $rule/$mode output lacks expected text: $want" >&2
+          echo "$out" >&2
+          failures=$((failures + 1))
+        fi
+      done < "$root/expect.grep"
     fi
   done
 done

@@ -1,0 +1,10 @@
+// Fixture: a raw wall-clock read in ordinary serving code, outside every
+// whitelisted seam.
+namespace fix {
+
+long sample_latency() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<long>(t0.time_since_epoch().count());
+}
+
+}  // namespace fix

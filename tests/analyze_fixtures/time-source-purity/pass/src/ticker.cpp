@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads live only behind the whitelisted TimeSource
+// seam (Server::clock_now); everything else asks the seam for now().
+namespace fix {
+
+struct Server {
+  long clock_now() const;
+  long uptime() const;
+};
+
+long Server::clock_now() const {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long Server::uptime() const {
+  return clock_now();
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Fixture: the fd status of ::close is discarded as a bare statement.
+namespace fix {
+
+void hangup(int fd) {
+  ::close(fd);
+}
+
+}  // namespace fix

@@ -1,0 +1,10 @@
+// Fixture: POSIX statuses are either checked or explicitly cast to void.
+namespace fix {
+
+int shutdown_pair(int a, int b) {
+  if (::close(a) != 0) return -1;
+  (void)::close(b);
+  return 0;
+}
+
+}  // namespace fix

@@ -261,4 +261,156 @@ TEST(AnalyzeConsistency, RuntimeLockOrderAgreesWithStaticGraph) {
       << "union of runtime and static lock-order graphs has a cycle";
 }
 
+// Index a snippet and return its computed effects keyed by symbol.
+std::map<std::string, analyze::Effects> effects_of(const char* src) {
+  analyze::Index idx;
+  analyze::index_file(idx, analyze::lex(src, "src/fix.cpp"));
+  std::map<std::string, analyze::Effects> out;
+  for (const auto& [id, e] : analyze::compute_effects(idx)) {
+    const analyze::FunctionInfo& F = idx.fn(id);
+    out[F.klass.empty() ? F.name : F.klass + "::" + F.name] = e;
+  }
+  return out;
+}
+
+TEST(AnalyzeEffects, DirectPrimitives) {
+  auto eff = effects_of(R"cpp(
+namespace fix {
+struct Queue {
+  sync::CondVar cv;
+};
+int read_fd(int fd) {
+  char buf[8];
+  return static_cast<int>(::recv(fd, buf, sizeof(buf), 0));
+}
+long read_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+int wait_on(Queue& q, sync::UniqueLock& lock) {
+  q.cv.wait(lock);
+  return 0;
+}
+void pause_briefly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+int pure(int x) { return x * 2; }
+}  // namespace fix
+)cpp");
+  EXPECT_TRUE(eff.at("read_fd").may_block);
+  EXPECT_FALSE(eff.at("read_fd").reads_clock);
+  EXPECT_TRUE(eff.at("read_clock").reads_clock);
+  EXPECT_FALSE(eff.at("read_clock").may_block);
+  EXPECT_TRUE(eff.at("wait_on").may_block);
+  EXPECT_TRUE(eff.at("pause_briefly").may_block);
+  EXPECT_FALSE(eff.at("pure").may_block);
+  EXPECT_FALSE(eff.at("pure").reads_clock);
+}
+
+TEST(AnalyzeEffects, OneHopPropagationWithWitnessPath) {
+  auto eff = effects_of(R"cpp(
+namespace fix {
+int leaf(int fd) {
+  char buf[8];
+  return static_cast<int>(::recv(fd, buf, sizeof(buf), 0));
+}
+int caller(int fd) { return leaf(fd); }
+}  // namespace fix
+)cpp");
+  ASSERT_TRUE(eff.at("leaf").may_block);
+  ASSERT_TRUE(eff.at("caller").may_block);
+  ASSERT_FALSE(eff.at("caller").block_path.empty());
+  EXPECT_EQ(eff.at("caller").block_path.front(), "leaf");
+  EXPECT_NE(eff.at("caller").block_path.back().find("::recv"),
+            std::string::npos);
+}
+
+// A call-graph cycle must converge with both members marked: this is the
+// case memoized recursion (acquires()-style) gets wrong when the blocking
+// member is visited second.
+TEST(AnalyzeEffects, CyclePropagationConverges) {
+  auto eff = effects_of(R"cpp(
+namespace fix {
+int pong(int n);
+int ping(int n) {
+  if (n <= 0) return 0;
+  return pong(n - 1);
+}
+int pong(int n) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return ping(n - 1);
+}
+}  // namespace fix
+)cpp");
+  EXPECT_TRUE(eff.at("ping").may_block);
+  EXPECT_TRUE(eff.at("pong").may_block);
+}
+
+TEST(AnalyzeEffects, ReceiverTypeDispatch) {
+  auto eff = effects_of(R"cpp(
+namespace fix {
+struct Blocking {
+  int poll(int fd) {
+    char buf[8];
+    return static_cast<int>(::recv(fd, buf, sizeof(buf), 0));
+  }
+};
+struct Counting {
+  int poll(int fd) { return fd; }
+};
+int uses_blocking(int fd) {
+  Blocking b;
+  return b.poll(fd);
+}
+int uses_counting(int fd) {
+  Counting c;
+  return c.poll(fd);
+}
+}  // namespace fix
+)cpp");
+  EXPECT_TRUE(eff.at("Blocking::poll").may_block);
+  EXPECT_FALSE(eff.at("Counting::poll").may_block);
+  EXPECT_TRUE(eff.at("uses_blocking").may_block);
+  EXPECT_FALSE(eff.at("uses_counting").may_block);
+}
+
+// Ground truth for the may-block effect: every in-tree function the runtime
+// CV watchdog has observed waiting must be marked may-block statically.
+TEST(AnalyzeConsistency, RuntimeCvWaitersAreStaticallyMayBlock) {
+  // Drive a workload whose threads wait on in-tree CondVars (pool workers
+  // idle-wait; for_range waits for region completion when workers exist).
+  std::atomic<std::int64_t> sum{0};
+  darnet::parallel::parallel_for(
+      0, 8192, 16, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+          sum.fetch_add(i, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(8192) * 8191 / 2);
+
+  const std::vector<std::string> waiters =
+      darnet::sync::cv_wait_sites_snapshot();
+#if !defined(DARNET_CHECKED)
+  EXPECT_TRUE(waiters.empty());  // unchecked builds keep no wait bookkeeping
+#endif
+
+  const analyze::AnalysisResult res = analyze::analyze_tree(DARNET_REPO_ROOT);
+  std::vector<std::string> may_block;
+  for (const analyze::EffectEntry& e : res.effects) {
+    if (e.may_block) may_block.push_back(e.symbol);
+  }
+  for (const std::string& pretty : waiters) {
+    // Only in-tree waiters participate: the test binary itself is not under
+    // an indexed directory, and its pretty names lack a darnet:: scope.
+    if (pretty.find("darnet::") == std::string::npos) continue;
+    bool matched = false;
+    for (const std::string& sym : may_block) {
+      if (pretty.find(sym) != std::string::npos) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "runtime CV waiter not statically may-block: "
+                         << pretty;
+  }
+}
+
 }  // namespace

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -289,6 +290,80 @@ TEST(HttpEdge, QuotaRejectionMapsTo429) {
   edge.stop();
   router.drain();
   EXPECT_EQ(router.stats().quota_rejected, 1u);
+}
+
+/// Counting serve::TimeSource frozen at a fixed instant; handler threads
+/// read it concurrently, so the call counter is atomic.
+struct CountingSource final : serve::TimeSource {
+  explicit CountingSource(std::chrono::steady_clock::time_point at)
+      : at_(at) {}
+  [[nodiscard]] std::chrono::steady_clock::time_point now()
+      const noexcept override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return at_;
+  }
+  mutable std::atomic<std::uint64_t> calls{0};
+
+ private:
+  std::chrono::steady_clock::time_point at_;
+};
+
+// The per-request latency timer in HttpServer::handle_connection must
+// read the injected TimeSource, never std::chrono::steady_clock
+// directly (rule time-source-purity: the clock_now() seam is the only
+// sanctioned read).
+TEST(HttpTimeSource, RequestTimerReadsTheInjectedClock) {
+  auto clock = std::make_shared<CountingSource>(
+      std::chrono::steady_clock::time_point{std::chrono::hours{1}});
+  http::HttpServerConfig config;
+  config.time_source = clock;
+  http::HttpServer server(
+      [](const http::Request&) { return http::Response{}; }, config);
+  ASSERT_GT(server.port(), 0);
+
+  EXPECT_EQ(http::get("127.0.0.1", server.port(), "/ping").status, 200);
+  server.stop();
+  // One read stamps the request start unconditionally; obs-enabled
+  // builds read again for the http/request_ns histogram.
+  EXPECT_GE(clock->calls.load(), 1u)
+      << "request timer bypassed the injected TimeSource";
+}
+
+// The Edge stamps classify deadlines from Router::clock_now(), which
+// forwards to the shard TimeSource. The fake sits decades past the
+// steady epoch while the host's steady clock (uptime-based) is far
+// behind it, so a 1 ms deadline discriminates: one hidden wall-clock
+// read at the stamping site and the deadline would be decades in the
+// triage clock's past, timing out every request.
+TEST(HttpEdge, DeadlineStampReadsTheRouterClock) {
+  const auto far_future =
+      std::chrono::steady_clock::time_point{std::chrono::hours{24 * 3650}};
+  ASSERT_LT(std::chrono::steady_clock::now(), far_future)
+      << "host steady clock too old for this regression to discriminate";
+  auto clock = std::make_shared<CountingSource>(far_future);
+
+  serve::RouterConfig router_config;
+  router_config.shard.max_delay_us = 0;
+  router_config.shard.time_source = clock;
+  serve::Router router(make_snapshot(1, 1), router_config);
+  http::EdgeConfig edge_config;
+  edge_config.frame_shape = {1, kFeatures};
+  edge_config.deadline_us = 1000;
+  http::Edge edge(router, edge_config);
+
+  const std::string body =
+      "{\"session\":5,\"frame\":[0.1,0.2,0.3,0.4]}";
+  http::ClientResponse reply =
+      http::post("127.0.0.1", edge.port(), "/classify", body);
+  EXPECT_EQ(reply.status, 200) << reply.body;
+  EXPECT_NE(reply.body.find("\"status\":\"ok\""), std::string::npos)
+      << reply.body;
+  EXPECT_GT(clock->calls.load(), 0u)
+      << "deadline stamp bypassed the router's TimeSource";
+
+  edge.stop();
+  router.drain();
+  EXPECT_EQ(router.stats().routed, 1u);
 }
 
 }  // namespace

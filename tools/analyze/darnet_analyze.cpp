@@ -5,7 +5,7 @@
 // tools/common/cli.hpp):
 //   darnet_analyze <repo_root> [--format=text|json] [--out=PATH]
 //                  [--baseline=<path>] [--no-stale-check]
-//                  [--dump-lock-graph=<path>] [--list]
+//                  [--dump-lock-graph=<path>] [--dump-effects=<path>] [--list]
 //
 // Text findings go to stderr (same `file:line: [rule] message` shape
 // as darnet_lint, so tests/lint_fixtures/run_fixtures.sh drives both); JSON
@@ -33,6 +33,9 @@ constexpr struct {
     {"guarded-by", "guarded member touched without its lock held"},
     {"hot-path-alloc-transitive", "allocation reachable from hot roots"},
     {"unchecked-status", "Admit/Status result discarded as a statement"},
+    {"blocking-under-lock", "may-block call reachable under a sync::Lock"},
+    {"time-source-purity", "wall-clock read outside whitelisted seams"},
+    {"unchecked-posix-io", "::send/recv/accept/close status discarded"},
     {"stale-baseline", "baseline suppression matching nothing"},
 };
 
@@ -44,8 +47,10 @@ int main(int argc, char** argv) {
       "darnet_analyze",
       "usage: darnet_analyze <repo_root> [--format=text|json] [--out=PATH]\n"
       "                      [--baseline=<path>] [--no-stale-check]\n"
-      "                      [--dump-lock-graph=<path>] [--list]");
+      "                      [--dump-lock-graph=<path>] [--dump-effects=<path>]\n"
+      "                      [--list]");
   parser.flag("format").flag("out").flag("baseline").flag("dump-lock-graph");
+  parser.flag("dump-effects");
   parser.toggle("no-stale-check").toggle("list");
   bool json = false;
   if (!parser.parse(argc, argv, 1) || !parser.format(json)) return 2;
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
   const std::string format = json ? "json" : "text";
   const std::string baseline_arg = parser.get("baseline", "");
   const std::string dump_lock_graph = parser.get("dump-lock-graph", "");
+  const std::string dump_effects = parser.get("dump-effects", "");
   const std::string out_path = parser.get("out", "");
   const bool stale_check = !parser.on("no-stale-check");
   if (parser.positionals().empty()) {
@@ -112,6 +118,38 @@ int main(int argc, char** argv) {
           << "}";
     }
     out << (res.lock_edges.empty() ? "" : "\n") << "]}\n";
+  }
+
+  // --dump-effects: one entry per function with a non-empty effect, sorted by
+  // (file, line), so a refactor can diff which functions gained or lost a
+  // may-block / reads-clock effect.
+  if (!dump_effects.empty()) {
+    std::ofstream out(dump_effects, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "darnet_analyze: cannot write '%s'\n",
+                   dump_effects.c_str());
+      return 2;
+    }
+    auto path_array = [&out](const std::vector<std::string>& path) {
+      out << "[";
+      for (size_t i = 0; i < path.size(); ++i)
+        out << (i ? "," : "") << "\"" << path[i] << "\"";
+      out << "]";
+    };
+    out << "{\"effects\":[";
+    for (size_t i = 0; i < res.effects.size(); ++i) {
+      const auto& e = res.effects[i];
+      out << (i ? "," : "") << "\n  {\"symbol\":\"" << e.symbol
+          << "\",\"file\":\"" << e.file << "\",\"line\":" << e.line
+          << ",\"may_block\":" << (e.may_block ? "true" : "false")
+          << ",\"reads_clock\":" << (e.reads_clock ? "true" : "false")
+          << ",\"block_path\":";
+      path_array(e.block_path);
+      out << ",\"clock_path\":";
+      path_array(e.clock_path);
+      out << "}";
+    }
+    out << (res.effects.empty() ? "" : "\n") << "]}\n";
   }
 
   if (format == "json") {

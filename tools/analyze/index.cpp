@@ -217,9 +217,15 @@ struct Indexer {
             if (u.text == "(" || u.text == "[") ++depth;
             if (u.text == ")" || u.text == "]") --depth;
             if (u.text == "{") {
+              // A '{' nested inside an initializer's parens is a lambda body
+              // or braced argument, never the function body — skip it whole.
+              if (depth > 0) {
+                q = match_forward(T, q, "{", "}") + 1;
+                continue;
+              }
               // Brace-init of a member is preceded by an ident or '>'; the
               // body brace follows ')' or '}' of the last initializer.
-              if (depth == 0 && q > 0 &&
+              if (q > 0 &&
                   (T[q - 1].kind == Tok::kIdent || is_punct(T[q - 1], ">"))) {
                 q = match_forward(T, q, "{", "}") + 1;
                 continue;
@@ -455,6 +461,7 @@ struct Indexer {
         site.tok = j;
         site.line = t.line;
         site.via_call = false;
+        site.var = var;
         for (size_t k = j + 5; k < expr_end; ++k) {
           if (T[k].kind == Tok::kIdent) site.mutex_expr_last = T[k].text;
           if (is_punct(T[k], "(")) site.via_call = true;
@@ -557,6 +564,11 @@ struct Indexer {
         c.line = t.line;
         if (j >= 2 && punct_at(j - 1, "::") && T[j - 2].kind == Tok::kIdent)
           c.qual = T[j - 2].text;
+        if (j >= 1 && punct_at(j - 1, "::") &&
+            (j < 2 || T[j - 2].kind != Tok::kIdent))
+          c.global_qual = true;
+        if (j >= 1 && (punct_at(j - 1, ".") || punct_at(j - 1, "->")))
+          c.method_like = true;
         if (j >= 2 && (punct_at(j - 1, ".") || punct_at(j - 1, "->")) &&
             T[j - 2].kind == Tok::kIdent) {
           c.receiver = T[j - 2].text;

@@ -31,6 +31,7 @@ namespace darnet::analyze {
 struct LockSite {
   std::string mutex_expr_last;  // last identifier of the mutex expression
   std::string receiver;         // first identifier if expr is x.m / p->m, else ""
+  std::string var;              // guard variable name, e.g. `lock`
   bool via_call;                // mutex expression is a call, e.g. trace_mu()
   size_t tok;                   // token index of the `sync` keyword
   size_t scope_end;             // token index of the closing '}' of the scope
@@ -50,6 +51,9 @@ struct CallSite {
   std::string qual;      // immediately-preceding qualifier ident, "" if none
   std::string receiver;  // x in x.f() / p->f(), "" if none
   std::string receiver_owner;  // r in r.x.f() / r->x.f(), "" if not chained
+  bool global_qual = false;    // `::f()` with no qualifier ident (POSIX call)
+  bool method_like = false;    // preceded by '.'/'->'; receiver may still be
+                               // "" when it is an expression (`a.b().f()`)
   size_t tok;            // token index of the callee identifier
   int line;
 };

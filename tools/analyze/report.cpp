@@ -205,9 +205,12 @@ void apply_baseline(std::vector<Finding>& findings,
     f.file = baseline_path;
     f.line = 0;
     f.symbol = baseline[b].symbol;
-    f.message = "suppression (rule=" + baseline[b].rule +
-                ", file=" + baseline[b].file + ", symbol=" + baseline[b].symbol +
-                ") no longer matches any finding; delete it";
+    // Print the entry exactly as it appears in the baseline file so deleting
+    // it after a fix is a copy-paste search, not a reconstruction.
+    f.message = "suppression no longer matches any finding; delete this entry "
+                "from " + baseline_path + ": {\"rule\": \"" + baseline[b].rule +
+                "\", \"file\": \"" + baseline[b].file + "\", \"symbol\": \"" +
+                baseline[b].symbol + "\"}";
     findings.push_back(std::move(f));
   }
 }

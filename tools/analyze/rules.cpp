@@ -7,13 +7,12 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 namespace darnet::analyze {
 namespace {
 
 namespace fs = std::filesystem;
-
-using FnId = std::pair<int, int>;
 
 bool under_any(const std::string& file, const std::vector<std::string>& prefixes) {
   for (const auto& p : prefixes) {
@@ -218,7 +217,146 @@ std::string symbol_of(const FunctionInfo& F) {
   return F.klass.empty() ? F.name : F.klass + "::" + F.name;
 }
 
+// --- effect primitives ------------------------------------------------------
+
+// If call site `c` inside F is a blocking primitive, return a short
+// description ("CondVar::wait", "::recv", ...); empty string otherwise.
+std::string blocking_primitive(const Resolver& R, const FunctionInfo& F,
+                               const CallSite& c) {
+  static const std::set<std::string> kWaits = {"wait", "wait_for",
+                                               "wait_until"};
+  static const std::set<std::string> kSleeps = {"sleep_for", "sleep_until"};
+  static const std::set<std::string> kSockets = {"send", "recv", "accept"};
+  auto type_mentions = [&](std::string_view needle) {
+    const std::vector<std::string>* types =
+        R.receiver_types(F, c.receiver, c.receiver_owner);
+    if (!types) return false;
+    for (const auto& t : *types) {
+      if (t.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  if (kWaits.count(c.callee) && !c.receiver.empty() &&
+      (type_mentions("CondVar") || type_mentions("condition_variable")))
+    return "CondVar::" + c.callee;
+  if (kSockets.count(c.callee) && c.global_qual) return "::" + c.callee;
+  if (c.callee == "get" && !c.receiver.empty() && type_mentions("future"))
+    return "std::future::get";
+  if (kSleeps.count(c.callee)) return "std::this_thread::" + c.callee;
+  // A join with no in-tree strict resolution is a raw std::thread join;
+  // in-tree joins (e.g. ServiceThread::join) propagate through the fixpoint.
+  if (c.callee == "join" && !c.receiver.empty() && R.strict(F, c).empty())
+    return "thread join";
+  return "";
+}
+
+// Direct wall-clock read: `steady_clock::now()` and friends, including the
+// tree-wide `using Clock = std::chrono::steady_clock` alias.
+bool clock_read(const CallSite& c) {
+  static const std::set<std::string> kClockQuals = {
+      "steady_clock", "system_clock", "high_resolution_clock", "Clock"};
+  return c.callee == "now" && kClockQuals.count(c.qual) > 0;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Interprocedural effect analysis.
+// ---------------------------------------------------------------------------
+
+std::map<FnId, Effects> compute_effects(const Index& idx) {
+  Resolver R{idx};
+  // 0 = no effect, 1 = direct primitive, 2 = via a strictly-resolved callee.
+  struct Node {
+    int block = 0;
+    int clock = 0;
+    std::string block_prim, clock_prim;  // direct primitive descriptions
+    FnId block_via{-1, -1}, clock_via{-1, -1};
+  };
+  std::map<FnId, Node> nodes;
+  std::map<FnId, std::vector<FnId>> callees;
+
+  for (size_t fi = 0; fi < idx.files.size(); ++fi) {
+    const FileIndex& fx = idx.files[fi];
+    for (size_t gi = 0; gi < fx.functions.size(); ++gi) {
+      FnId id{static_cast<int>(fi), static_cast<int>(gi)};
+      const FunctionInfo& F = fx.functions[gi];
+      Node& n = nodes[id];
+      std::set<FnId> outs;
+      for (const auto& c : F.calls) {
+        // A method call on an expression receiver (`a.b().f()`) is
+        // unresolvable; treating it as an unqualified call would bind it to
+        // unrelated same-name free functions, so skip it entirely.
+        if (c.method_like && c.receiver.empty()) continue;
+        std::string prim = blocking_primitive(R, F, c);
+        if (!prim.empty() && n.block == 0) {
+          n.block = 1;
+          n.block_prim = prim + " at " + F.file + ":" + std::to_string(c.line);
+        }
+        if (clock_read(c) && n.clock == 0) {
+          n.clock = 1;
+          n.clock_prim = c.qual + "::now() at " + F.file + ":" +
+                         std::to_string(c.line);
+        }
+        for (FnId g : R.strict(F, c)) {
+          if (g != id) outs.insert(g);
+        }
+      }
+      callees[id].assign(outs.begin(), outs.end());
+    }
+  }
+
+  // Fixpoint: effects flow from callees to callers until stable. Cycles in
+  // the call graph converge because the state is monotone (an effect, once
+  // set, never clears); memoized recursion à la acquires() would be
+  // order-dependent on cycles, so it is deliberately not used here.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [id, n] : nodes) {
+      for (FnId g : callees[id]) {
+        const Node& m = nodes[g];
+        if (n.block == 0 && m.block != 0) {
+          n.block = 2;
+          n.block_via = g;
+          changed = true;
+        }
+        if (n.clock == 0 && m.clock != 0) {
+          n.clock = 2;
+          n.clock_via = g;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Materialize witness chains. A via-link always points at a node whose own
+  // chain was complete when the link was created, so the walk terminates.
+  std::map<FnId, Effects> out;
+  for (const auto& [id, n] : nodes) {
+    Effects e;
+    e.may_block = n.block != 0;
+    e.reads_clock = n.clock != 0;
+    if (e.may_block) {
+      FnId cur = id;
+      while (nodes.at(cur).block == 2) {
+        cur = nodes.at(cur).block_via;
+        e.block_path.push_back(symbol_of(idx.fn(cur)));
+      }
+      e.block_path.push_back(nodes.at(cur).block_prim);
+    }
+    if (e.reads_clock) {
+      FnId cur = id;
+      while (nodes.at(cur).clock == 2) {
+        cur = nodes.at(cur).clock_via;
+        e.clock_path.push_back(symbol_of(idx.fn(cur)));
+      }
+      e.clock_path.push_back(nodes.at(cur).clock_prim);
+    }
+    out[id] = std::move(e);
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Rule 1: static lock-order extraction.
@@ -616,6 +754,206 @@ void rule_unchecked_status(const Index& idx, const AnalysisOptions& opts,
 }
 
 // ---------------------------------------------------------------------------
+// Rule 5: blocking-under-lock (interprocedural).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// blocking-under-lock exemption registry: same shape and shrink-only
+// semantics as kHotPathAllocExempt. Entries match a "Class::function" symbol
+// or a file-path prefix (trailing '/'); each carries the reviewed reason the
+// may-block call under the lock is intended. Block-free-tier mutexes
+// (route/*) can NOT be exempted here — only the baseline can suppress those,
+// and shrinking it back is the expected direction.
+struct BlockingExempt {
+  std::string_view match;
+  std::string_view reason;
+};
+constexpr BlockingExempt kBlockingExempt[] = {
+    {"ThreadPool::for_range",
+     "parallel/pool_submit exists to serialize entire regions; waiting for "
+     "region completion while holding it IS the guarded work (DESIGN.md §10)"},
+};
+
+bool blocking_exempt(const FunctionInfo& F) {
+  std::string sym = symbol_of(F);
+  for (const auto& e : kBlockingExempt) {
+    std::string m(e.match);
+    bool hit = (!m.empty() && m.back() == '/') ? F.file.rfind(m, 0) == 0
+                                               : (sym == m || F.name == m);
+    if (hit) return true;
+  }
+  return false;
+}
+
+// route/* mutexes guard RCU-style reader sections: entirely block-free tier.
+bool block_free_tier(const std::string& mutex_name) {
+  return mutex_name.rfind("route/", 0) == 0;
+}
+
+std::string tier_suffix(bool tier0) {
+  return tier0 ? " — 'route/*' is block-free tier: RCU reader sections must "
+                 "never block (DESIGN.md §10)"
+               : "";
+}
+
+}  // namespace
+
+void rule_blocking_under_lock(const Index& idx, const AnalysisOptions& opts,
+                              const std::map<FnId, Effects>& effects,
+                              std::vector<Finding>& findings) {
+  Resolver R{idx};
+  static const std::set<std::string> kWaits = {"wait", "wait_for",
+                                               "wait_until"};
+  for (const auto& fx : idx.files) {
+    if (!under_any(fx.lex.path, opts.rule_prefixes)) continue;
+    const auto& T = fx.lex.tokens;
+    for (const auto& F : fx.functions) {
+      const bool exempt_fn = blocking_exempt(F);
+      for (const auto& L : F.locks) {
+        std::string name =
+            R.mutex_name(F, L.mutex_expr_last, L.receiver, L.via_call);
+        const std::string shown = name.empty() ? L.mutex_expr_last : name;
+        const bool tier0 = block_free_tier(name);
+        if (exempt_fn && !tier0) continue;
+        for (const auto& c : F.calls) {
+          if (c.tok <= L.tok || c.tok >= L.scope_end) continue;
+          if (c.method_like && c.receiver.empty()) continue;  // see
+          // compute_effects: expression receivers are unresolvable
+          std::string prim = blocking_primitive(R, F, c);
+          if (!prim.empty()) {
+            // A CV wait whose first argument is this guard variable releases
+            // the lock for the duration of the wait — that is the one blessed
+            // way to block "under" a lock.
+            if (kWaits.count(c.callee) && c.tok + 2 < T.size() &&
+                is_ident(T[c.tok + 2], L.var))
+              continue;
+            findings.push_back(Finding{
+                "blocking-under-lock", F.file, c.line, symbol_of(F),
+                "'" + prim + "' may block while '" + shown + "' is held in " +
+                    symbol_of(F) + tier_suffix(tier0)});
+            continue;  // the direct site is the report; don't re-report the
+                       // same wait through the callee's own effect
+          }
+          for (FnId g : R.strict(F, c)) {
+            auto it = effects.find(g);
+            if (it == effects.end() || !it->second.may_block) continue;
+            std::ostringstream path;
+            path << symbol_of(F) << " -> " << symbol_of(idx.fn(g));
+            for (const auto& hop : it->second.block_path) path << " -> " << hop;
+            findings.push_back(Finding{
+                "blocking-under-lock", F.file, c.line, symbol_of(F),
+                "call to '" + symbol_of(idx.fn(g)) +
+                    "' may block while '" + shown + "' is held in " +
+                    symbol_of(F) + "; path: " + path.str() +
+                    tier_suffix(tier0)});
+            break;  // one witness per call site is enough
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: time-source purity.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Whitelisted wall-clock seams. Entries match a file-path prefix (trailing
+// '/'), a class prefix (trailing "::"), or an exact "Class::function" /
+// "function" symbol. Everything else must route through serve::TimeSource
+// (or sim::VirtualTimeSource) so the tree stays virtual-time-drivable.
+struct TimeSeam {
+  std::string_view match;
+  std::string_view reason;
+};
+constexpr TimeSeam kTimeSourceSeams[] = {
+    {"src/obs/",
+     "observability epoch and trace timestamps; never feed scheduling"},
+    {"src/sync/",
+     "checked-build watchdog deadlines; compiled out of release builds"},
+    {"Stopwatch::", "util::Stopwatch is itself a measurement seam"},
+    {"Server::clock_now", "the serve::TimeSource injection seam"},
+    {"Router::clock_now", "the serve::TimeSource injection seam"},
+    {"HttpServer::clock_now", "the serve::TimeSource injection seam"},
+};
+
+bool time_seam(const FunctionInfo& F) {
+  const std::string sym = symbol_of(F);
+  for (const auto& e : kTimeSourceSeams) {
+    const std::string m(e.match);
+    bool hit = false;
+    if (!m.empty() && m.back() == '/') {
+      hit = F.file.rfind(m, 0) == 0;
+    } else if (m.size() >= 2 && m.compare(m.size() - 2, 2, "::") == 0) {
+      hit = sym.rfind(m, 0) == 0;
+    } else {
+      hit = sym == m || F.name == m;
+    }
+    if (hit) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void rule_time_source_purity(const Index& idx, const AnalysisOptions& opts,
+                             std::vector<Finding>& findings) {
+  for (const auto& fx : idx.files) {
+    if (!under_any(fx.lex.path, opts.rule_prefixes)) continue;
+    for (const auto& F : fx.functions) {
+      if (time_seam(F)) continue;
+      for (const auto& c : F.calls) {
+        if (!clock_read(c)) continue;
+        findings.push_back(Finding{
+            "time-source-purity", F.file, c.line, symbol_of(F),
+            "direct wall-clock read ('" + c.qual + "::now()') in " +
+                symbol_of(F) +
+                "; route through serve::TimeSource or a whitelisted seam "
+                "(docs/STATIC_ANALYSIS.md)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: unchecked POSIX I/O status.
+// ---------------------------------------------------------------------------
+
+void rule_unchecked_posix_io(const Index& idx, const AnalysisOptions& opts,
+                             std::vector<Finding>& findings) {
+  static const std::set<std::string> kPosix = {"send", "recv", "accept",
+                                               "close"};
+  for (const auto& fx : idx.files) {
+    if (!under_any(fx.lex.path, opts.posix_io_prefixes)) continue;
+    const auto& T = fx.lex.tokens;
+    for (const auto& F : fx.functions) {
+      for (const auto& c : F.calls) {
+        if (!c.global_qual || !kPosix.count(c.callee)) continue;
+        // Statement head is the leading '::' (same shape as unchecked-status:
+        // the call must be a bare discarded statement).
+        const size_t head = c.tok - 1;
+        if (head == 0) continue;
+        const Token& before = T[head - 1];
+        const bool statement_start =
+            before.kind == Tok::kPunct &&
+            (before.text == ";" || before.text == "{" || before.text == "}");
+        if (!statement_start) continue;
+        size_t close = match_forward(T, c.tok + 1, "(", ")");
+        if (close + 1 >= T.size() || !is_punct(T[close + 1], ";")) continue;
+        findings.push_back(Finding{
+            "unchecked-posix-io", F.file, T[c.tok].line, c.callee,
+            "return value of '::" + c.callee +
+                "' (ssize_t/fd status) is discarded; check it or cast to "
+                "void explicitly"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -651,6 +989,25 @@ AnalysisResult analyze_tree(const fs::path& root, const AnalysisOptions& opts) {
   rule_guarded_by(idx, opts, res.findings);
   rule_hot_path_alloc(idx, opts, res.findings);
   rule_unchecked_status(idx, opts, res.findings);
+
+  const std::map<FnId, Effects> effects = compute_effects(idx);
+  rule_blocking_under_lock(idx, opts, effects, res.findings);
+  rule_time_source_purity(idx, opts, res.findings);
+  rule_unchecked_posix_io(idx, opts, res.findings);
+
+  for (const auto& [id, e] : effects) {
+    if (!e.may_block && !e.reads_clock) continue;
+    const FunctionInfo& F = idx.fn(id);
+    res.effects.push_back(EffectEntry{symbol_of(F), F.file, F.line,
+                                      e.may_block, e.reads_clock,
+                                      e.block_path, e.clock_path});
+  }
+  std::sort(res.effects.begin(), res.effects.end(),
+            [](const EffectEntry& a, const EffectEntry& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.symbol < b.symbol;
+            });
 
   // Dedupe (e.g. two accesses of the same guarded member in one statement).
   sort_findings(res.findings);

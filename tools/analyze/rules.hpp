@@ -13,17 +13,51 @@
 //                             the exemption registry.
 //   unchecked-status          a call to an in-tree Admit/Status-returning
 //                             function used as a bare discarded statement.
+//   blocking-under-lock       interprocedural: a call that may block (CondVar
+//                             wait, socket send/recv/accept, future::get,
+//                             sleep, thread join) is reachable while a
+//                             sync::Lock/UniqueLock scope is live. route/*
+//                             mutexes are block-free tier (no exemptions).
+//   time-source-purity        a direct std::chrono::{steady,system}_clock
+//                             ::now() read outside the whitelisted seams
+//                             (serve::TimeSource impls, obs epoch, Stopwatch,
+//                             checked-build sync watchdogs).
+//   unchecked-posix-io        ssize_t/fd return of ::send/::recv/::accept/
+//                             ::close discarded as a bare statement in
+//                             src/http.
 //   stale-baseline            (from report.cpp) suppression matching nothing.
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tools/analyze/index.hpp"
 #include "tools/analyze/report.hpp"
 
 namespace darnet::analyze {
+
+// (file_id, function index) — identifies a FunctionInfo in an Index.
+using FnId = std::pair<int, int>;
+
+// Interprocedural effects of one function, computed as a fixpoint over the
+// strictly-resolved call graph: a function has an effect if it performs the
+// primitive directly or any strictly-resolved callee has the effect.
+struct Effects {
+  bool may_block = false;    // may wait on a CV/socket/future/sleep/join
+  bool reads_clock = false;  // reads std::chrono::{steady,system}_clock::now()
+  // Witness chains from this function down to the primitive. The last element
+  // describes the primitive itself ("::recv at src/http/http.cpp:204"); the
+  // preceding elements are the callee symbols on the path.
+  std::vector<std::string> block_path;
+  std::vector<std::string> clock_path;
+};
+
+// Compute effects for every indexed function (exposed for unit tests and the
+// --dump-effects debug artefact).
+std::map<FnId, Effects> compute_effects(const Index& idx);
 
 // One edge of the static lock-order graph: while holding `from`, `to` was
 // (possibly transitively, through calls) acquired.
@@ -47,11 +81,25 @@ struct AnalysisOptions {
   std::vector<std::string> rule_prefixes = {"src/"};
   // unchecked-status additionally covers examples/ (the public API surface).
   std::vector<std::string> status_rule_prefixes = {"src/", "examples/"};
+  // unchecked-posix-io runs only where raw POSIX sockets/fds live.
+  std::vector<std::string> posix_io_prefixes = {"src/http/"};
+};
+
+// One function's computed effects, flattened for --dump-effects and tests.
+struct EffectEntry {
+  std::string symbol;  // "Class::function" or "function"
+  std::string file;
+  int line = 0;
+  bool may_block = false;
+  bool reads_clock = false;
+  std::vector<std::string> block_path;
+  std::vector<std::string> clock_path;
 };
 
 struct AnalysisResult {
   std::vector<Finding> findings;
   std::vector<LockEdge> lock_edges;  // full static lock-order graph
+  std::vector<EffectEntry> effects;  // every function with a non-empty effect
   int files_indexed = 0;
   int functions_indexed = 0;
 };
@@ -70,5 +118,12 @@ void rule_hot_path_alloc(const Index& idx, const AnalysisOptions& opts,
                          std::vector<Finding>& findings);
 void rule_unchecked_status(const Index& idx, const AnalysisOptions& opts,
                            std::vector<Finding>& findings);
+void rule_blocking_under_lock(const Index& idx, const AnalysisOptions& opts,
+                              const std::map<FnId, Effects>& effects,
+                              std::vector<Finding>& findings);
+void rule_time_source_purity(const Index& idx, const AnalysisOptions& opts,
+                             std::vector<Finding>& findings);
+void rule_unchecked_posix_io(const Index& idx, const AnalysisOptions& opts,
+                             std::vector<Finding>& findings);
 
 }  // namespace darnet::analyze

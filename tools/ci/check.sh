@@ -39,8 +39,10 @@
 #            trips the stale-baseline rule and turns the leg red, so the
 #            baseline can only shrink to match the tree. Wall-clock
 #            seconds land in check_summary.json like every other leg;
-#            the analyzer run itself is budgeted at < 10s (measured ~50ms
-#            -- see EXPERIMENTS.md), so the leg's time is all build.
+#            the analyzer run itself is gated at < 10s (measured ~50ms
+#            -- see EXPERIMENTS.md and BENCH_analyze.json) and its own
+#            seconds land as top-level "analyze_run_seconds", so the
+#            leg's time is otherwise all build.
 #   bench-smoke
 #            build EVERY bench target (Release, observability on) and run
 #            each binary once in its cheapest configuration, so a kernel
@@ -81,6 +83,11 @@ fi
 FAILED=()
 PASSED=()
 declare -A LEG_SECONDS
+# Wall-time budget for the analyzer binary itself (not the leg's build);
+# the measured run is ~0.05s, so tripping this means something regressed
+# by two orders of magnitude. Seconds land in check_summary.json.
+ANALYZE_BUDGET_S=10
+ANALYZE_RUN_SECONDS=""
 
 run_leg() {
   leg_name="$1"
@@ -299,6 +306,9 @@ run_bench_smoke() {
       # Fleet simulator sweep: 10 sessions max, JSON to /dev/null; the
       # determinism + shape gates must hold even at smoke scale.
       bench_fleet)               args="10 /dev/null"; ok_status="0" ;;
+      # Analyzer budget bench: full tree, JSON to /dev/null; the budget,
+      # determinism and shape gates must hold on every machine.
+      bench_analyze)             args="${ROOT} /dev/null"; ok_status="0" ;;
       *)                         args="";      ok_status="0 1" ;;
     esac
     # shellcheck disable=SC2086
@@ -340,11 +350,26 @@ run_analyze() {
   fi
   echo "=== [analyze] run ==="
   out="${leg_dir}/analyze_findings.json"
-  if ! "${leg_dir}/tools/analyze/darnet_analyze" "${ROOT}" --format=json \
-       > "${out}"; then
+  t0=$(date +%s%N)
+  rc=0
+  "${leg_dir}/tools/analyze/darnet_analyze" "${ROOT}" --format=json \
+      > "${out}" || rc=$?
+  t1=$(date +%s%N)
+  analyze_ms=$(( (t1 - t0) / 1000000 ))
+  ANALYZE_RUN_SECONDS=$(printf '%d.%03d' $((analyze_ms / 1000)) \
+                               $((analyze_ms % 1000)))
+  echo "analyzer wall time: ${ANALYZE_RUN_SECONDS}s (budget ${ANALYZE_BUDGET_S}s)"
+  if [ "${rc}" -ne 0 ]; then
     echo "darnet_analyze reported findings (JSON mirrored to ${out}):" >&2
     cat "${out}" >&2
     FAILED+=("analyze (findings)")
+    return 1
+  fi
+  if [ "${analyze_ms}" -gt $((ANALYZE_BUDGET_S * 1000)) ]; then
+    echo "analyzer run took ${ANALYZE_RUN_SECONDS}s, over the" \
+         "${ANALYZE_BUDGET_S}s budget (docs/STATIC_ANALYSIS.md:" \
+         "shard the index_dirs walk before touching rule logic)" >&2
+    FAILED+=("analyze (budget)")
     return 1
   fi
   PASSED+=("analyze")
@@ -473,6 +498,9 @@ write_summary_json() {
       printf '}'
     done
     printf '\n  ],\n'
+    if [ -n "${ANALYZE_RUN_SECONDS}" ]; then
+      printf '  "analyze_run_seconds": %s,\n' "${ANALYZE_RUN_SECONDS}"
+    fi
     if [ "${#FAILED[@]}" -eq 0 ]; then
       echo '  "all_green": true'
     else

@@ -11,6 +11,11 @@
 //   --seed=S      master seed, where the tool is randomised
 //   --list        enumerate what the tool can run/check, then exit 0
 //   --help | -h   print the usage synopsis and exit 0
+//   --dump-*=PATH debug artefact escape hatch: dump an internal table
+//                 (e.g. darnet_analyze --dump-effects=FILE) as JSON to
+//                 PATH. Never part of the pass/fail contract -- the
+//                 exit code is unchanged by what a dump contains, and 2
+//                 is returned only if PATH itself is unwritable.
 //
 // Exit-code contract (all tools, documented once, here):
 //   0  success -- a clean lint/analyze run, or a completed simulation
